@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale mapping (see DESIGN.md §3): the paper's LUBM∃ 15M- and 100M-fact
+ABoxes become the generator's ``small`` and ``medium`` scales — laptop-size
+stand-ins whose *relative* effects (which reformulation wins, where
+failures appear) match the paper. Override with::
+
+    REPRO_BENCH_PAPER15M=medium REPRO_BENCH_PAPER100M=large \
+        pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.generator import generate_abox
+from repro.bench.lubm import lubm_exists_tbox
+from repro.bench.queries import benchmark_queries, star_queries
+
+SCALE_15M = os.environ.get("REPRO_BENCH_PAPER15M", "small")
+SCALE_100M = os.environ.get("REPRO_BENCH_PAPER100M", "medium")
+
+
+@pytest.fixture(scope="session")
+def tbox():
+    return lubm_exists_tbox()
+
+
+@pytest.fixture(scope="session")
+def abox_15m():
+    """The stand-in for the paper's LUBM∃ 15M ABox."""
+    return generate_abox(SCALE_15M)
+
+
+@pytest.fixture(scope="session")
+def abox_100m():
+    """The stand-in for the paper's LUBM∃ 100M ABox."""
+    return generate_abox(SCALE_100M)
+
+
+@pytest.fixture(scope="session")
+def queries():
+    return benchmark_queries()
+
+
+@pytest.fixture(scope="session")
+def stars():
+    return star_queries()

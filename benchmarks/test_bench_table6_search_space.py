@@ -1,0 +1,58 @@
+"""E2 / E8 — Table 6: search-space sizes and GDL exploration, A3–A6.
+
+Paper (Table 6):
+
+    query                      A3   A4   A5     A6
+    |Lq|                        2    7   71     93
+    |Gq|                        4   67  5674  >20000
+    Lq covers explored by GDL   2    5   11     18
+    Gq covers explored by GDL   4   12   27     59
+
+Shape criteria reproduced here: |Lq| grows with the atom count; |Gq|
+explodes (the A6 enumeration is cut at the same 20,000-cover cap the paper
+used) — making EDL impractical — while GDL explores only tens of covers,
+growing mildly with query size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import search_space_experiment
+from repro.cost.statistics import DataStatistics
+
+GENERALIZED_CAP = 20_000
+
+
+def test_table6_search_space(benchmark, tbox, stars, abox_15m):
+    statistics = DataStatistics.from_abox(abox_15m)
+    result = benchmark.pedantic(
+        lambda: search_space_experiment(
+            tbox, stars, statistics, generalized_limit=GENERALIZED_CAP
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.table())
+
+    rows = {row["query"]: row for row in result.rows}
+    lq = [rows[f"A{i}"]["lq_size"] for i in range(3, 7)]
+    assert lq == sorted(lq), "|Lq| grows with the atom count"
+
+    def gq_value(cell) -> int:
+        return int(str(cell).lstrip(">= "))
+
+    gq = [gq_value(rows[f"A{i}"]["gq_size"]) for i in range(3, 7)]
+    assert gq == sorted(gq), "|Gq| grows with the atom count"
+    assert gq[-1] >= GENERALIZED_CAP, "A6's generalized space exceeds the cap"
+    assert gq[-1] >= 100 * lq[-1], "|Gq| dwarfs |Lq| (EDL impractical)"
+
+    for i in range(3, 7):
+        explored = (
+            rows[f"A{i}"]["gdl_safe_explored"]
+            + rows[f"A{i}"]["gdl_generalized_explored"]
+        )
+        assert explored <= 300, "GDL explores tens of covers, not thousands"
+
+    benchmark.extra_info["table6"] = {
+        name: {k: str(v) for k, v in row.items()} for name, row in rows.items()
+    }

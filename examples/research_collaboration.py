@@ -1,0 +1,105 @@
+"""Inside the optimizer: covers, safety, and the GDL search, step by step.
+
+Uses a research-collaboration KB (the domain of the paper's Section 4
+running example, enlarged) to show:
+
+* predicate dependencies (Definition 4) and the root cover (Definition 6);
+* why an *unsafe* cover silently loses answers (the paper's Example 7);
+* the safe-cover lattice Lq and a slice of the generalized space Gq;
+* the cover GDL picks and the JUCQ it evaluates.
+
+Run:  python examples/research_collaboration.py
+"""
+
+from repro.covers.cover import Cover
+from repro.covers.dependencies import dependencies
+from repro.covers.lattice import enumerate_safe_covers
+from repro.covers.generalized import enumerate_generalized_covers
+from repro.covers.reformulate import cover_based_reformulation
+from repro.covers.safety import is_safe_cover, root_cover
+from repro.cost.estimators import ExternalCoverCost
+from repro.cost.model import ExternalCostModel
+from repro.cost.statistics import DataStatistics
+from repro.dllite.parser import parse_abox, parse_query, parse_tbox
+from repro.optimizer.gdl import gdl_search
+from repro.queries.evaluate import evaluate_jucq, evaluate_ucq
+from repro.reformulation.perfectref import reformulate_to_ucq
+
+TBOX = """
+role worksWith
+role supervisedBy
+role authored
+Graduate <= exists supervisedBy
+supervisedBy <= worksWith
+exists authored <= Researcher
+PhDStudent <= Researcher
+"""
+
+ABOX = """
+PhDStudent(Damian)
+Graduate(Damian)
+Graduate(Alice)
+supervisedBy(Alice, Bob)
+worksWith(Bob, Carol)
+authored(Carol, Paper1)
+PhDStudent(Alice)
+"""
+
+QUERY = "q(x) <- PhDStudent(x), worksWith(x, y), supervisedBy(z, y)"
+
+
+def main() -> None:
+    tbox = parse_tbox(TBOX)
+    abox = parse_abox(ABOX)
+    facts = abox.fact_store()
+    query = parse_query(QUERY)
+
+    print("Query:", query)
+
+    # --- Dependencies (Definition 4, Example 8) ---------------------------
+    print("\nPredicate dependencies w.r.t. the TBox:")
+    for predicate in ("PhDStudent", "worksWith", "supervisedBy"):
+        print(f"  dep({predicate}) = {sorted(dependencies(predicate, tbox))}")
+
+    # --- The unsafe cover loses answers (Example 7) -----------------------
+    reference = evaluate_ucq(reformulate_to_ucq(query, tbox), facts)
+    print(f"\nReference answers (UCQ reformulation): {sorted(reference)}")
+
+    unsafe = Cover(query, (frozenset({0, 1}), frozenset({2})))
+    print(f"\nUnsafe cover C1 = {unsafe}")
+    print(f"  safe? {is_safe_cover(unsafe, tbox)}")
+    lost = evaluate_jucq(cover_based_reformulation(unsafe, tbox), facts)
+    print(f"  its JUCQ returns {sorted(lost)}  <-- answers lost!")
+
+    # --- The root cover and the lattice ------------------------------------
+    croot = root_cover(query, tbox)
+    print(f"\nRoot cover Croot = {croot}")
+    safe_covers = list(enumerate_safe_covers(query, tbox))
+    print(f"|Lq| = {len(safe_covers)} safe covers:")
+    for cover in safe_covers:
+        answers = evaluate_jucq(cover_based_reformulation(cover, tbox), facts)
+        print(f"  {cover} -> {sorted(answers)}")
+
+    some_generalized = list(enumerate_generalized_covers(query, tbox, limit=6))
+    print(f"\nFirst {len(some_generalized)} covers of Gq (semijoin reducers):")
+    for cover in some_generalized:
+        print(f"  {cover}")
+
+    # --- GDL ----------------------------------------------------------------
+    statistics = DataStatistics.from_abox(abox)
+    estimator = ExternalCoverCost(tbox, ExternalCostModel(statistics))
+    result = gdl_search(query, tbox, estimator)
+    print(
+        f"\nGDL picked {result.cover} "
+        f"(estimated cost {result.cost:.1f}, "
+        f"{result.total_covers_explored} covers explored, "
+        f"generalized: {result.picked_generalized()})"
+    )
+    jucq = estimator.reformulate(result.cover)
+    answers = evaluate_jucq(jucq, facts)
+    print(f"Its JUCQ returns {sorted(answers)} — matches the reference:",
+          answers == reference)
+
+
+if __name__ == "__main__":
+    main()

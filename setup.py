@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on machines without the ``wheel``
+package (PEP 517 editable builds require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — cost-based cover reformulation for ontology-based data access.
+
+A from-scratch Python reproduction of:
+
+    Damian Bursztyn, François Goasdoué, Ioana Manolescu.
+    "Teaching an RDBMS about ontological constraints." VLDB 2016.
+
+The package implements DL-LiteR knowledge bases, the PerfectRef CQ-to-UCQ
+reformulation, the paper's cover framework (safe covers, the root cover,
+the Lq lattice, generalized covers Gq), the EDL/GDL cost-based search
+algorithms, SQL translation over two storage layouts, two runnable RDBMS
+backends (SQLite and a from-scratch in-memory engine with a cost-based
+optimizer), and the LUBM∃-style benchmark used by the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import obda
+>>> system = obda.OBDASystem.from_text(tbox_text, abox_text)
+>>> answers = system.answer("q(x) <- PhDStudent(x), worksWith(y, x)")
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dllite",
+    "queries",
+    "reformulation",
+    "covers",
+    "cost",
+    "optimizer",
+    "sql",
+    "engine",
+    "storage",
+    "obda",
+    "bench",
+]

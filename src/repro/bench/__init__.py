@@ -1,0 +1,35 @@
+"""The LUBM∃-style benchmark: TBox, data generator, workload, harness.
+
+The paper evaluates on two LUBM∃ KBs [23] (a DL-LiteR university TBox of
+128 concepts, 34 roles and 212 constraints; ABoxes of 15M and 100M facts
+from the EUDG generator) and a workload of 13 CQs plus the star queries
+A3–A6 derived from Q1. The original TBox file is not bundled with the
+paper, so :mod:`lubm` provides a university TBox *matching its reported
+statistics and axiom-shape mix*; :mod:`generator` is a seeded EUDG-style
+generator with an explicit incompleteness knob (types left implicit for
+reasoning to recover); :mod:`queries` defines Q1–Q13 and A3–A6 against our
+TBox; :mod:`harness` runs the paper's experiments at laptop scale.
+"""
+
+from repro.bench.lubm import lubm_exists_tbox, tbox_statistics
+from repro.bench.generator import generate_abox, scale_parameters
+from repro.bench.queries import benchmark_queries, star_queries
+from repro.bench.harness import (
+    ExperimentResult,
+    evaluation_experiment,
+    reformulation_statistics,
+    search_space_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "benchmark_queries",
+    "evaluation_experiment",
+    "generate_abox",
+    "lubm_exists_tbox",
+    "reformulation_statistics",
+    "scale_parameters",
+    "search_space_experiment",
+    "star_queries",
+    "tbox_statistics",
+]

@@ -1,0 +1,188 @@
+"""A seeded, EUDG-style ABox generator for the LUBM∃ TBox.
+
+EUDG [23] produces LUBM data *with incompleteness*: some facts are left
+implicit so that query answering genuinely requires the ontology. This
+generator reproduces that behaviour with two knobs:
+
+* ``type_omission_probability`` — an individual's explicit type is dropped
+  when a domain/range or hierarchy axiom can recover it (e.g. a department
+  head's ``Chair``/``Professor`` types follow from ``headOf``);
+* ``edge_omission_probability`` — mandatory-participation edges (e.g. a
+  graduate student's ``advisor``) are dropped; the LUBM∃ existential
+  axioms make such individuals answers to the corresponding queries
+  anyway.
+
+Everything is driven by one :class:`random.Random` seed, so a given
+(scale, seed) pair always produces the identical ABox — benchmarks are
+reproducible and the dictionary encoding is stable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dllite.abox import ABox
+
+
+@dataclass(frozen=True)
+class ScaleParameters:
+    """Per-scale generator settings (laptop-scale stand-ins, see DESIGN.md)."""
+
+    universities: int
+    departments_per_university: int = 6
+    label: str = "custom"
+
+
+#: Paper scale -> laptop scale. LUBM∃ 15M / 100M facts become "small" /
+#: "medium"; relative effects (who wins, crossovers) are scale-stable.
+SCALES: Dict[str, ScaleParameters] = {
+    "tiny": ScaleParameters(universities=1, departments_per_university=2, label="tiny"),
+    "small": ScaleParameters(universities=1, departments_per_university=6, label="small"),
+    "medium": ScaleParameters(universities=3, departments_per_university=8, label="medium"),
+    "large": ScaleParameters(universities=8, departments_per_university=10, label="large"),
+}
+
+
+def scale_parameters(scale: str) -> ScaleParameters:
+    """Look up a named scale."""
+    try:
+        return SCALES[scale]
+    except KeyError as missing:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        ) from missing
+
+
+PROFESSOR_RANKS = ("FullProfessor", "AssociateProfessor", "AssistantProfessor")
+
+
+def generate_abox(
+    scale: str = "small",
+    seed: int = 2016,
+    type_omission_probability: float = 0.25,
+    edge_omission_probability: float = 0.15,
+) -> ABox:
+    """Generate a deterministic LUBM∃-style ABox at a named scale."""
+    params = scale_parameters(scale)
+    rng = random.Random(seed)
+    abox = ABox()
+
+    def maybe_type(individual: str, concept: str) -> None:
+        """Assert a type unless the incompleteness knob drops it."""
+        if rng.random() >= type_omission_probability:
+            abox.add_concept(concept, individual)
+
+    for u in range(params.universities):
+        university = f"Univ{u}"
+        abox.add_concept("University", university)
+        for d in range(params.departments_per_university):
+            dept = f"Dept{u}_{d}"
+            abox.add_concept("Department", dept)
+            abox.add_role("subOrganizationOf", dept, university)
+
+            # --- faculty ------------------------------------------------
+            professors: List[str] = []
+            for rank in PROFESSOR_RANKS:
+                for i in range(2):
+                    person = f"{rank}{u}_{d}_{i}"
+                    professors.append(person)
+                    # The head's Professor-ness is recoverable via headOf's
+                    # domain; others may lose their type too (hierarchy).
+                    maybe_type(person, rank)
+                    abox.add_role("worksFor", person, dept)
+                    abox.add_role(
+                        "doctoralDegreeFrom",
+                        person,
+                        f"Univ{rng.randrange(params.universities)}",
+                    )
+            head = rng.choice(professors)
+            abox.add_role("headOf", head, dept)
+
+            lecturers = []
+            for i in range(2):
+                person = f"Lecturer{u}_{d}_{i}"
+                lecturers.append(person)
+                maybe_type(person, "Lecturer")
+                abox.add_role("worksFor", person, dept)
+            post_doc = f"PostDoc{u}_{d}"
+            maybe_type(post_doc, "PostDoc")
+            abox.add_role("worksFor", post_doc, dept)
+
+            # --- courses --------------------------------------------------
+            courses: List[str] = []
+            graduate_courses: List[str] = []
+            for i in range(4):
+                course = f"GradCourse{u}_{d}_{i}"
+                graduate_courses.append(course)
+                courses.append(course)
+                maybe_type(course, "GraduateCourse")
+                abox.add_role("offersCourse", dept, course)
+                abox.add_role("teacherOf", rng.choice(professors), course)
+            for i in range(6):
+                course = f"Course{u}_{d}_{i}"
+                courses.append(course)
+                maybe_type(course, "UndergraduateCourse")
+                abox.add_role("offersCourse", dept, course)
+                teacher = rng.choice(professors + lecturers)
+                if rng.random() >= edge_omission_probability:
+                    abox.add_role("teacherOf", teacher, course)
+
+            # --- students -------------------------------------------------
+            for i in range(8):
+                student = f"GradStudent{u}_{d}_{i}"
+                maybe_type(student, "GraduateStudent")
+                abox.add_role("memberOf", student, dept)
+                for course in rng.sample(graduate_courses, 2):
+                    abox.add_role("takesCourse", student, course)
+                if rng.random() >= edge_omission_probability:
+                    abox.add_role("advisor", student, rng.choice(professors))
+                abox.add_role(
+                    "undergraduateDegreeFrom",
+                    student,
+                    f"Univ{rng.randrange(params.universities)}",
+                )
+            for i in range(16):
+                student = f"UndergradStudent{u}_{d}_{i}"
+                maybe_type(student, "UndergraduateStudent")
+                # Exercise the member/memberOf inverse: assert from the
+                # organization side half of the time.
+                if rng.random() < 0.5:
+                    abox.add_role("member", dept, student)
+                else:
+                    abox.add_role("memberOf", student, dept)
+                for course in rng.sample(courses, 3):
+                    abox.add_role("takesCourse", student, course)
+            for i in range(2):
+                ta = f"TA{u}_{d}_{i}"
+                maybe_type(ta, "TeachingAssistant")
+                abox.add_role("teachingAssistantOf", ta, rng.choice(courses))
+                abox.add_role("worksFor", ta, dept)
+
+            # --- research -------------------------------------------------
+            group = f"Group{u}_{d}"
+            maybe_type(group, "ResearchGroup")
+            abox.add_role("subOrganizationOf", group, dept)
+            project = f"Project{u}_{d}"
+            maybe_type(project, "ResearchProject")
+            abox.add_role("researchProject", group, project)
+            for person in professors[:3]:
+                abox.add_role("researchInterest", person, project)
+
+            # --- publications ---------------------------------------------
+            for i in range(10):
+                paper = f"Paper{u}_{d}_{i}"
+                kind = rng.choice(
+                    ("JournalArticle", "ConferencePaper", "TechnicalReport")
+                )
+                maybe_type(paper, kind)
+                abox.add_role("orgPublication", dept, paper)
+                authors = rng.sample(professors, 2)
+                for author in authors:
+                    if rng.random() >= edge_omission_probability:
+                        abox.add_role("publicationAuthor", paper, author)
+                grad_author = f"GradStudent{u}_{d}_{rng.randrange(8)}"
+                abox.add_role("publicationAuthor", paper, grad_author)
+                abox.add_role("publicationResearch", paper, project)
+    return abox

@@ -1,0 +1,293 @@
+"""A LUBM∃-style university TBox for DL-LiteR.
+
+The paper benchmarks against the LUBM∃ TBox [23]: 128 concepts, 34 roles
+and 212 constraints. That exact file is not part of the paper, so this
+module provides a university ontology *matching its reported statistics
+and axiom-shape mix*: deep concept hierarchies, domain/range constraints
+for every role, LUBM∃'s characteristic existential axioms (``C <= exists
+R``), role hierarchies with inverses, and a handful of disjointness
+constraints. ``tbox_statistics()`` reports the exact counts; the test
+suite pins them.
+
+The structure is intentionally *dependency-rich around Person and
+memberOf* so that reformulations of the benchmark queries span two orders
+of magnitude in size, as the paper's do (35 to 667 CQs, §6.1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.dllite.axioms import Axiom, ConceptInclusion, RoleInclusion
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import AtomicConcept as C
+from repro.dllite.vocabulary import Exists, Role
+
+
+def _role(spec: str) -> Role:
+    """Parse ``name`` or ``name-`` into a signed role."""
+    if spec.endswith("-"):
+        return Role(spec[:-1], inverse=True)
+    return Role(spec)
+
+
+#: (subclass, superclass) pairs — the concept hierarchy.
+CONCEPT_HIERARCHY: List[Tuple[str, str]] = [
+    # --- Person branch -------------------------------------------------
+    ("Employee", "Person"),
+    ("Student", "Person"),
+    ("Reviewer", "Person"),
+    ("Editor", "Person"),
+    ("ProgramCommitteeMember", "Person"),
+    ("Director", "Employee"),
+    ("Intern", "Employee"),
+    ("AdministrativeStaff", "Employee"),
+    ("ClericalStaff", "AdministrativeStaff"),
+    ("SystemsStaff", "AdministrativeStaff"),
+    ("SecurityStaff", "AdministrativeStaff"),
+    ("LibraryStaff", "AdministrativeStaff"),
+    ("Registrar", "AdministrativeStaff"),
+    ("Faculty", "Employee"),
+    ("PostDoc", "Faculty"),
+    ("Lecturer", "Faculty"),
+    ("SeniorLecturer", "Lecturer"),
+    ("JuniorLecturer", "Lecturer"),
+    ("Professor", "Faculty"),
+    ("AssistantProfessor", "Professor"),
+    ("AssociateProfessor", "Professor"),
+    ("FullProfessor", "Professor"),
+    ("VisitingProfessor", "Professor"),
+    ("EmeritusProfessor", "Professor"),
+    ("AdjunctProfessor", "Professor"),
+    ("Chair", "Professor"),
+    ("Dean", "Professor"),
+    ("ResearchStaff", "Employee"),
+    ("ResearchScientist", "ResearchStaff"),
+    ("LabTechnician", "ResearchStaff"),
+    ("ResearchAssistant", "ResearchStaff"),
+    ("TeachingAssistant", "Employee"),
+    ("UndergraduateStudent", "Student"),
+    ("GraduateStudent", "Student"),
+    ("DoctoralStudent", "GraduateStudent"),
+    ("MastersStudent", "GraduateStudent"),
+    ("ExchangeStudent", "Student"),
+    ("PartTimeStudent", "Student"),
+    ("FullTimeStudent", "Student"),
+    ("HonorsStudent", "UndergraduateStudent"),
+    # --- Organization branch -------------------------------------------
+    ("University", "Organization"),
+    ("College", "Organization"),
+    ("Department", "Organization"),
+    ("Institute", "Organization"),
+    ("Program", "Organization"),
+    ("ResearchGroup", "Organization"),
+    ("Laboratory", "Organization"),
+    ("Library", "Organization"),
+    ("School", "Organization"),
+    ("Consortium", "Organization"),
+    ("FundingAgency", "Organization"),
+    ("Company", "Organization"),
+    ("Committee", "Organization"),
+    ("AlumniAssociation", "Organization"),
+    ("StudentUnion", "Organization"),
+    # --- Publication branch ---------------------------------------------
+    ("Article", "Publication"),
+    ("Book", "Publication"),
+    ("Manual", "Publication"),
+    ("Software", "Publication"),
+    ("Specification", "Publication"),
+    ("TechnicalReport", "Publication"),
+    ("UnofficialPublication", "Publication"),
+    ("Thesis", "Publication"),
+    ("JournalArticle", "Article"),
+    ("ConferencePaper", "Article"),
+    ("WorkshopPaper", "Article"),
+    ("SurveyArticle", "JournalArticle"),
+    ("DemoPaper", "ConferencePaper"),
+    ("PosterPaper", "ConferencePaper"),
+    ("EditedBook", "Book"),
+    ("Monograph", "Book"),
+    ("Textbook", "Book"),
+    ("PhDThesis", "Thesis"),
+    ("MastersThesis", "Thesis"),
+    ("BachelorsThesis", "Thesis"),
+    # --- Work branch ------------------------------------------------------
+    ("Course", "Work"),
+    ("GraduateCourse", "Course"),
+    ("UndergraduateCourse", "Course"),
+    ("SeminarCourse", "Course"),
+    ("LabCourse", "Course"),
+    ("CoreCourse", "Course"),
+    ("ElectiveCourse", "Course"),
+    ("CapstoneCourse", "Course"),
+    ("Research", "Work"),
+    ("ResearchProject", "Research"),
+    ("FundedProject", "ResearchProject"),
+    ("IndustryProject", "ResearchProject"),
+    # --- Event branch ----------------------------------------------------
+    ("Conference", "Event"),
+    ("Workshop", "Event"),
+    ("Lecture", "Event"),
+    ("Colloquium", "Event"),
+    ("Meeting", "Event"),
+    ("Defense", "Event"),
+    # --- Award branch ------------------------------------------------------
+    ("BestPaperAward", "Award"),
+    ("Fellowship", "Award"),
+    ("TeachingAward", "Award"),
+    ("Grant", "Award"),
+    ("ResearchGrant", "Grant"),
+    ("TravelGrant", "Grant"),
+    # --- Degree branch -----------------------------------------------------
+    ("BachelorsDegree", "Degree"),
+    ("MastersDegree", "Degree"),
+    ("DoctoralDegree", "Degree"),
+    # --- Facility branch ----------------------------------------------------
+    ("Building", "Facility"),
+    ("Room", "Facility"),
+    ("Office", "Room"),
+    ("LectureHall", "Room"),
+    ("ConferenceRoom", "Room"),
+    # --- Venue branch --------------------------------------------------------
+    ("JournalVenue", "Venue"),
+    ("ConferenceVenue", "Venue"),
+    ("WorkshopVenue", "Venue"),
+    # --- extra depth to match the LUBM∃ signature size ---------------------
+    ("DistinguishedProfessor", "FullProfessor"),
+    ("ResearchProfessor", "Professor"),
+    ("UniversityLibrary", "Library"),
+    ("MedicalSchool", "School"),
+    ("LawSchool", "School"),
+    ("Proceedings", "Book"),
+    ("Encyclopedia", "Book"),
+    ("OnlineCourse", "Course"),
+]
+
+#: role -> (domain concept, range concept); "" means no axiom is declared
+#: on that side (a role must keep at least one mention to stay in the
+#: signature; those trimmed here are covered by a hierarchy axiom).
+ROLE_SIGNATURES: Dict[str, Tuple[str, str]] = {
+    "advisor": ("Student", "Professor"),
+    "affiliateOf": ("Organization", ""),
+    "affiliatedOrganizationOf": ("Organization", ""),
+    "degreeFrom": ("Person", "University"),
+    "doctoralDegreeFrom": ("Person", "University"),
+    "mastersDegreeFrom": ("Person", "University"),
+    "undergraduateDegreeFrom": ("Person", "University"),
+    "hasAlumnus": ("", "Person"),
+    "headOf": ("Chair", "Organization"),
+    "listedCourse": ("Schedule", ""),
+    "member": ("Organization", "Person"),
+    "memberOf": ("Person", "Organization"),
+    "orgPublication": ("Organization", "Publication"),
+    "publicationAuthor": ("Publication", "Person"),
+    "authorOf": ("", "Publication"),
+    "publicationResearch": ("Publication", "Research"),
+    "researchInterest": ("Person", "Research"),
+    "researchProject": ("ResearchGroup", "Research"),
+    "softwareDocumentation": ("Software", "Publication"),
+    "subOrganizationOf": ("Organization", "Organization"),
+    "takesCourse": ("Student", "Course"),
+    "teacherOf": ("Faculty", "Course"),
+    "teachingAssistantOf": ("TeachingAssistant", "Course"),
+    "worksFor": ("Employee", "Organization"),
+    "employs": ("", "Employee"),
+    "collaboratesWith": ("", ""),
+    "attends": ("Person", ""),
+    "organizes": ("Person", ""),
+    "reviews": ("Reviewer", "Publication"),
+    "receivedAward": ("Person", ""),
+    "hasDegree": ("Person", ""),
+    "enrolledIn": ("Student", "Program"),
+    "offersCourse": ("Department", ""),
+    "publishedIn": ("Article", "Venue"),
+}
+
+#: (sub role, super role) — signed specs ("name" or "name-").
+ROLE_HIERARCHY: List[Tuple[str, str]] = [
+    ("doctoralDegreeFrom", "degreeFrom"),
+    ("mastersDegreeFrom", "degreeFrom"),
+    ("undergraduateDegreeFrom", "degreeFrom"),
+    ("degreeFrom", "hasAlumnus-"),       # alumni are degree holders
+    ("headOf", "worksFor"),              # heading an org is working for it
+    ("worksFor", "memberOf"),            # LUBM: worksFor <= memberOf
+    ("member", "memberOf-"),             # member and memberOf are inverses
+    ("worksFor", "employs-"),            # employment seen from the org side
+    ("authorOf", "publicationAuthor-"),  # authorship seen from the person
+    ("collaboratesWith", "collaboratesWith-"),  # symmetry
+    ("teachingAssistantOf", "takesCourse"),     # TAs attend their course
+]
+
+#: (concept, role spec) — LUBM∃'s mandatory-participation axioms C <= exists R.
+EXISTENTIALS: List[Tuple[str, str]] = [
+    ("Professor", "teacherOf"),
+    ("Professor", "researchInterest"),
+    ("Faculty", "worksFor"),
+    ("GraduateStudent", "advisor"),
+    ("DoctoralStudent", "advisor"),
+    ("Student", "takesCourse"),
+    ("Student", "memberOf"),
+    ("GraduateStudent", "undergraduateDegreeFrom"),
+    ("Publication", "publicationAuthor"),
+    ("Article", "publicationResearch"),
+    ("Article", "publishedIn"),
+    ("Department", "subOrganizationOf"),
+    ("College", "subOrganizationOf"),
+    ("ResearchGroup", "subOrganizationOf"),
+    ("ResearchGroup", "researchProject"),
+    ("University", "hasAlumnus"),
+    ("Chair", "headOf"),
+    ("TeachingAssistant", "teachingAssistantOf"),
+    ("Software", "softwareDocumentation"),
+    ("Schedule", "listedCourse"),
+    ("Course", "teacherOf-"),            # every course has some teacher
+    ("FundedProject", "researchProject-"),  # funded projects belong to a group
+]
+
+#: (lhs concept, rhs concept) disjointness (lhs <= not rhs).
+DISJOINTNESS: List[Tuple[str, str]] = [
+    ("UndergraduateStudent", "GraduateStudent"),
+    ("Person", "Organization"),
+    ("Person", "Publication"),
+    ("Course", "Research"),
+    ("Professor", "Lecturer"),
+]
+
+#: (role, role) disjointness over roles (lhs <= not rhs).
+ROLE_DISJOINTNESS: List[Tuple[str, str]] = [
+    ("teacherOf", "takesCourse"),
+]
+
+
+def _existential(spec: str) -> Exists:
+    return Exists(_role(spec))
+
+
+@lru_cache(maxsize=1)
+def lubm_exists_tbox() -> TBox:
+    """Build (once) the benchmark TBox."""
+    axioms: List[Axiom] = []
+    for sub, sup in CONCEPT_HIERARCHY:
+        axioms.append(ConceptInclusion(C(sub), C(sup)))
+    for role_name, (domain, range_) in sorted(ROLE_SIGNATURES.items()):
+        if domain:
+            axioms.append(ConceptInclusion(Exists(Role(role_name)), C(domain)))
+        if range_:
+            axioms.append(
+                ConceptInclusion(Exists(Role(role_name, inverse=True)), C(range_))
+            )
+    for sub, sup in ROLE_HIERARCHY:
+        axioms.append(RoleInclusion(_role(sub), _role(sup)))
+    for concept, role_spec in EXISTENTIALS:
+        axioms.append(ConceptInclusion(C(concept), _existential(role_spec)))
+    for lhs, rhs in DISJOINTNESS:
+        axioms.append(ConceptInclusion(C(lhs), C(rhs), negative=True))
+    for lhs, rhs in ROLE_DISJOINTNESS:
+        axioms.append(RoleInclusion(_role(lhs), _role(rhs), negative=True))
+    return TBox(axioms)
+
+
+def tbox_statistics() -> Dict[str, int]:
+    """Signature/axiom counts of the benchmark TBox (reported in docs)."""
+    return lubm_exists_tbox().statistics()

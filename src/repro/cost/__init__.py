@@ -1,0 +1,30 @@
+"""Cost estimation for candidate FOL reformulations.
+
+Two estimators drive the paper's cover search (Figure 2/3 legends):
+
+* **ext** — the authors' own textbook cost model over data statistics
+  (cardinalities + per-attribute distinct counts, uniformity and
+  independence assumptions, linear-time hash joins):
+  :class:`~repro.cost.model.ExternalCostModel`;
+* **RDBMS** — the backend's cost estimate for the translated SQL
+  (Postgres ``explain`` / DB2 ``db2expln``; here the backends'
+  ``estimated_cost``): :class:`~repro.cost.estimators.RDBMSCoverCost`.
+"""
+
+from repro.cost.statistics import DataStatistics, PredicateStatistics
+from repro.cost.model import ExternalCostModel, ExternalCostParameters
+from repro.cost.estimators import (
+    CoverCostEstimator,
+    ExternalCoverCost,
+    RDBMSCoverCost,
+)
+
+__all__ = [
+    "CoverCostEstimator",
+    "DataStatistics",
+    "ExternalCostModel",
+    "ExternalCostParameters",
+    "ExternalCoverCost",
+    "PredicateStatistics",
+    "RDBMSCoverCost",
+]

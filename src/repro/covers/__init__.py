@@ -1,0 +1,48 @@
+"""Query covers: the paper's optimization space for FOL reformulations.
+
+A *cover* (Definition 1) splits a CQ's atoms into fragments; reformulating
+each fragment query independently and joining the results yields a JUCQ (or
+JUSCQ) that — for *safe* covers (Definition 5) — is an equivalent FOL
+reformulation of the query (Theorem 1). *Generalized* covers (Section 5.2)
+additionally replicate atoms across fragments as semijoin reducers while
+preserving equivalence (Theorem 3).
+
+Modules:
+
+* :mod:`dependencies` — ``dep(N)`` of Definition 4;
+* :mod:`cover` — covers and generalized covers;
+* :mod:`fragments` — fragment queries (Definitions 2 and 7);
+* :mod:`safety` — safe-cover check and the root cover (Definitions 5, 6);
+* :mod:`lattice` — enumeration of the safe-cover lattice Lq (Theorem 2);
+* :mod:`generalized` — enumeration of the generalized space Gq;
+* :mod:`reformulate` — cover-based reformulation (Definition 3).
+"""
+
+from repro.covers.dependencies import dependencies, dependency_closure
+from repro.covers.cover import Cover, Fragment, GeneralizedCover, GeneralizedFragment
+from repro.covers.fragments import fragment_query, generalized_fragment_query
+from repro.covers.safety import is_safe_cover, root_cover
+from repro.covers.lattice import enumerate_safe_covers, safe_cover_count
+from repro.covers.generalized import enumerate_generalized_covers
+from repro.covers.reformulate import (
+    cover_based_reformulation,
+    cover_based_uscq_reformulation,
+)
+
+__all__ = [
+    "Cover",
+    "Fragment",
+    "GeneralizedCover",
+    "GeneralizedFragment",
+    "cover_based_reformulation",
+    "cover_based_uscq_reformulation",
+    "dependencies",
+    "dependency_closure",
+    "enumerate_generalized_covers",
+    "enumerate_safe_covers",
+    "fragment_query",
+    "generalized_fragment_query",
+    "is_safe_cover",
+    "root_cover",
+    "safe_cover_count",
+]

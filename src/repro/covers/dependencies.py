@@ -1,0 +1,64 @@
+"""Concept and role dependencies w.r.t. a TBox (Definition 4).
+
+``dep(N)`` is the set of concept and role *names* into which ``N`` may turn
+through some sequence of atom specializations performed by the CQ-to-UCQ
+algorithm (backward constraint applications and unifications). It is the
+fixpoint of::
+
+    dep0(N) = {N}
+    depn(N) = depn-1(N) ∪ {cr(Y) | Y <= X in T and cr(X) in depn-1(N)}
+
+where ``cr`` strips inverses and existentials down to the bare name
+(:func:`repro.dllite.vocabulary.predicate_name`).
+
+Two query atoms whose predicates have intersecting dependency sets may be
+brought to unify during reformulation — the safety condition (Definition 5)
+requires such atoms to live in the same cover fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import predicate_name
+
+
+def dependencies(name: str, tbox: TBox) -> FrozenSet[str]:
+    """``dep(name)``: all names *name* depends on w.r.t. *tbox*."""
+    return dependency_closure(tbox).get(name, frozenset({name}))
+
+
+def dependency_closure(tbox: TBox) -> Dict[str, FrozenSet[str]]:
+    """``dep(N)`` for every predicate name of the TBox signature.
+
+    The closure is computed once for all names by propagating over the
+    positive axioms until fixpoint; names outside the TBox signature
+    trivially depend only on themselves.
+    """
+    edges: Dict[str, Set[str]] = {}
+    for axiom in tbox.positive_axioms():
+        rhs_name = predicate_name(axiom.rhs)
+        lhs_name = predicate_name(axiom.lhs)
+        edges.setdefault(rhs_name, set()).add(lhs_name)
+
+    closure: Dict[str, Set[str]] = {
+        name: {name} for name in tbox.predicate_names()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, deps in closure.items():
+            additions: Set[str] = set()
+            for dep in deps:
+                additions |= edges.get(dep, set())
+            new = additions - deps
+            if new:
+                deps |= new
+                changed = True
+    return {name: frozenset(deps) for name, deps in closure.items()}
+
+
+def share_dependency(first: str, second: str, tbox: TBox) -> bool:
+    """True iff ``dep(first)`` and ``dep(second)`` intersect."""
+    return bool(dependencies(first, tbox) & dependencies(second, tbox))

@@ -1,0 +1,88 @@
+"""Fragment queries of a CQ w.r.t. a cover (Definitions 2 and 7).
+
+The fragment query of ``f`` exports (i) the free variables of the full
+query appearing in ``f`` and (ii) the existential variables of ``f`` shared
+with *another* fragment — the variables the cross-fragment joins need.
+
+For a generalized fragment ``f || g``, the body contains all atoms of
+``f`` but the exported variables are computed from ``g`` alone (reducer
+atoms filter, they never widen the head).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.covers.cover import Cover, Fragment, GeneralizedCover, GeneralizedFragment
+from repro.queries.atoms import Atom
+from repro.queries.cq import CQ
+from repro.queries.terms import Term, Variable, is_variable
+
+
+def _variables_of_atoms(atoms: Sequence[Atom]) -> Set[Variable]:
+    return {v for atom in atoms for v in atom.variables()}
+
+
+def _ordered_head(
+    query: CQ, exported: Set[Variable]
+) -> Tuple[Variable, ...]:
+    """Deterministic head ordering: query-head order, then body order."""
+    ordered: List[Variable] = []
+    seen: Set[Variable] = set()
+    for term in query.head:
+        if is_variable(term) and term in exported and term not in seen:
+            ordered.append(term)
+            seen.add(term)
+    for atom in query.atoms:
+        for variable in atom.variables():
+            if variable in exported and variable not in seen:
+                ordered.append(variable)
+                seen.add(variable)
+    return tuple(ordered)
+
+
+def fragment_query(query: CQ, fragment: Fragment, cover: Cover, name: str = "") -> CQ:
+    """The fragment query ``q|f`` of Definition 2."""
+    atoms = cover.atoms_of(fragment)
+    own_variables = _variables_of_atoms(atoms)
+    other_variables: Set[Variable] = set()
+    for other in cover.fragments:
+        if other == fragment:
+            continue
+        other_variables |= _variables_of_atoms(cover.atoms_of(other))
+
+    head_variables = query.head_variables() & own_variables
+    shared_existentials = (own_variables - query.head_variables()) & other_variables
+    exported = head_variables | shared_existentials
+    head = _ordered_head(query, exported)
+    return CQ(head=head, atoms=atoms, name=name or f"{query.name}_f")
+
+
+def generalized_fragment_query(
+    query: CQ,
+    fragment: GeneralizedFragment,
+    cover: GeneralizedCover,
+    name: str = "",
+) -> CQ:
+    """The generalized fragment query ``q|f||g`` of Definition 7.
+
+    The body is ``f``; exported variables are the query's free variables in
+    the atoms of ``g``, plus variables of ``g``'s atoms shared with the
+    ``g'`` part of some *other* generalized fragment.
+    """
+    body_atoms = tuple(query.atoms[i] for i in sorted(fragment.f))
+    g_atoms = tuple(query.atoms[i] for i in sorted(fragment.g))
+    g_variables = _variables_of_atoms(g_atoms)
+
+    other_g_variables: Set[Variable] = set()
+    for other in cover.fragments:
+        if other == fragment:
+            continue
+        other_atoms = tuple(query.atoms[i] for i in sorted(other.g))
+        other_g_variables |= _variables_of_atoms(other_atoms)
+
+    head_variables = query.head_variables() & g_variables
+    shared = (g_variables - query.head_variables()) & other_g_variables
+    exported = head_variables | shared
+    head = _ordered_head(query, exported)
+    return CQ(head=head, atoms=body_atoms, name=name or f"{query.name}_fg")

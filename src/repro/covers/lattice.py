@@ -1,0 +1,90 @@
+"""The safe-cover lattice Lq (Theorem 2).
+
+Every fragment of a safe cover is a union of root-cover fragments, so the
+safe covers of a query are exactly the set partitions of the root cover's
+fragments — ordered by "each fragment of C2 is a union of fragments of C1",
+with the root cover as top and the single-fragment cover as bottom. The
+lattice size is bounded by the Bell number of the root fragment count.
+
+An optional connectivity filter additionally enforces condition (iii) of
+Definition 1 on merged fragments (each merged fragment must be
+join-connected, treating forced root fragments as already grouped).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.covers.cover import Cover, Fragment, _indices_connected
+from repro.covers.safety import root_cover
+from repro.dllite.tbox import TBox
+from repro.queries.cq import CQ
+
+
+def _set_partitions(items: Sequence[Fragment]) -> Iterator[List[List[Fragment]]]:
+    """All set partitions of *items* (standard recursive enumeration)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        # Put `first` in each existing block...
+        for index in range(len(partition)):
+            yield (
+                partition[:index]
+                + [[first] + partition[index]]
+                + partition[index + 1 :]
+            )
+        # ... or in a new block of its own.
+        yield [[first]] + partition
+
+
+def enumerate_safe_covers(
+    query: CQ,
+    tbox: TBox,
+    require_connected: bool = False,
+) -> Iterator[Cover]:
+    """Yield every safe cover of *query* w.r.t. *tbox*.
+
+    With ``require_connected``, merged fragments must be join-connected
+    (single root fragments are always admitted, being forced by safety).
+    """
+    base = root_cover(query, tbox)
+    for partition in _set_partitions(base.fragments):
+        fragments = []
+        admissible = True
+        for block in partition:
+            merged: Fragment = frozenset().union(*block)
+            if (
+                require_connected
+                and len(block) > 1
+                and not _indices_connected(query, merged)
+            ):
+                admissible = False
+                break
+            fragments.append(merged)
+        if admissible:
+            yield Cover(query, tuple(fragments))
+
+
+def safe_cover_count(
+    query: CQ, tbox: TBox, require_connected: bool = False
+) -> int:
+    """``|Lq|`` — the number of safe covers (Table 6's first row)."""
+    return sum(1 for _ in enumerate_safe_covers(query, tbox, require_connected))
+
+
+@lru_cache(maxsize=None)
+def bell_number(n: int) -> int:
+    """The n-th Bell number: the paper's upper bound for ``|Lq|``."""
+    # Bell triangle construction: row 0 is [1]; each next row starts with
+    # the previous row's last element and accumulates; B_n is the first
+    # element of row n.
+    row = [1]
+    for _ in range(n):
+        next_row = [row[-1]]
+        for value in row:
+            next_row.append(next_row[-1] + value)
+        row = next_row
+    return row[0]

@@ -1,0 +1,99 @@
+"""Cover-based reformulation (Definition 3): fragments to JUCQ / JUSCQ.
+
+Given a (generalized) cover, each fragment query is reformulated with the
+CQ-to-UCQ technique (PerfectRef) — or CQ-to-USCQ — and the reformulated
+fragments are joined on their shared head variables. For covers in the safe
+space Lq or the generalized space Gq the result is an equivalent FOL
+reformulation of the input query (Theorems 1 and 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.covers.cover import Cover, GeneralizedCover
+from repro.covers.fragments import fragment_query, generalized_fragment_query
+from repro.dllite.tbox import TBox
+from repro.queries.cq import CQ
+from repro.queries.jucq import JUCQ, JUSCQ
+from repro.queries.scq import USCQ
+from repro.queries.ucq import UCQ
+from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.reformulation.uscq import factorize_ucq
+
+AnyCover = Union[Cover, GeneralizedCover]
+
+
+def fragment_queries_of(cover: AnyCover) -> List[CQ]:
+    """The (generalized) fragment queries of a cover, in fragment order."""
+    queries: List[CQ] = []
+    if isinstance(cover, GeneralizedCover):
+        for position, gf in enumerate(cover.fragments):
+            queries.append(
+                generalized_fragment_query(
+                    cover.query, gf, cover, name=f"{cover.query.name}_f{position}"
+                )
+            )
+    else:
+        for position, fragment in enumerate(cover.fragments):
+            queries.append(
+                fragment_query(
+                    cover.query, fragment, cover, name=f"{cover.query.name}_f{position}"
+                )
+            )
+    return queries
+
+
+def cover_based_reformulation(
+    cover: AnyCover,
+    tbox: TBox,
+    minimize: bool = True,
+    cache: Optional[dict] = None,
+) -> JUCQ:
+    """The JUCQ reformulation of the cover's query (Definition 3).
+
+    Every fragment query is reformulated to a (optionally minimized) UCQ;
+    the JUCQ joins them on shared head variable names and projects the
+    original head. For a one-fragment cover this degenerates to the plain
+    UCQ reformulation wrapped as a single-component JUCQ.
+
+    ``cache`` (structural fragment-query key -> UCQ) lets a search
+    algorithm exploring many covers reformulate each distinct fragment
+    once — cover search revisits the same fragments constantly.
+    """
+    query = cover.query
+    components: List[UCQ] = []
+    for fq in fragment_queries_of(cover):
+        key = (fq.head, fq.atoms, minimize)
+        if cache is not None and key in cache:
+            components.append(cache[key])
+            continue
+        component = reformulate_to_ucq(fq, tbox, minimize=minimize)
+        if cache is not None:
+            cache[key] = component
+        components.append(component)
+    return JUCQ(
+        head=query.head,
+        components=tuple(components),
+        name=f"{query.name}_jucq",
+    )
+
+
+def cover_based_uscq_reformulation(
+    cover: AnyCover,
+    tbox: TBox,
+    minimize: bool = True,
+) -> JUSCQ:
+    """The JUSCQ reformulation: fragments reformulated to USCQs instead."""
+    query = cover.query
+    components: List[USCQ] = []
+    for fq in fragment_queries_of(cover):
+        ucq = reformulate_to_ucq(fq, tbox, minimize=minimize)
+        components.append(
+            factorize_ucq(ucq, name=f"{fq.name}_uscq")
+        )
+    return JUSCQ(
+        head=query.head,
+        components=tuple(components),
+        name=f"{query.name}_juscq",
+    )

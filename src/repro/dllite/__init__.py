@@ -1,0 +1,71 @@
+"""DL-LiteR knowledge bases: TBoxes, ABoxes, consistency and entailment.
+
+DL-LiteR (Calvanese et al. [13]) is the description logic underpinning the
+W3C OWL2 QL profile. This package provides:
+
+* the vocabulary — concept names, role names, inverses ``R-`` and
+  unqualified existential restrictions ``exists R`` (:mod:`vocabulary`);
+* the 22 TBox constraint forms (11 positive of Table 3 plus their
+  negated-right-hand-side variants) with first-order renderings
+  (:mod:`axioms`);
+* TBoxes with positive/negative closure and inclusion entailment
+  (:mod:`tbox`);
+* ABoxes, knowledge bases, consistency checking and assertion entailment
+  (:mod:`abox`, :mod:`kb`);
+* a bounded restricted chase used as ground truth in tests
+  (:mod:`saturation`);
+* a compact text syntax for KBs and queries (:mod:`parser`).
+"""
+
+from repro.dllite.vocabulary import (
+    AtomicConcept,
+    BasicConcept,
+    Exists,
+    Role,
+    concept,
+    exists,
+    inverse,
+    role,
+)
+from repro.dllite.axioms import (
+    Axiom,
+    ConceptInclusion,
+    RoleInclusion,
+    axiom_to_fol,
+    concept_inclusion,
+    role_inclusion,
+)
+from repro.dllite.tbox import TBox
+from repro.dllite.abox import ABox, ConceptAssertion, RoleAssertion
+from repro.dllite.kb import KnowledgeBase, InconsistentKBError
+from repro.dllite.saturation import chase, certain_answers
+from repro.dllite.parser import parse_axiom, parse_query, parse_tbox, parse_abox
+
+__all__ = [
+    "ABox",
+    "AtomicConcept",
+    "Axiom",
+    "BasicConcept",
+    "ConceptAssertion",
+    "ConceptInclusion",
+    "Exists",
+    "InconsistentKBError",
+    "KnowledgeBase",
+    "Role",
+    "RoleAssertion",
+    "RoleInclusion",
+    "TBox",
+    "axiom_to_fol",
+    "certain_answers",
+    "chase",
+    "concept",
+    "concept_inclusion",
+    "exists",
+    "inverse",
+    "parse_abox",
+    "parse_axiom",
+    "parse_query",
+    "parse_tbox",
+    "role",
+    "role_inclusion",
+]

@@ -1,0 +1,135 @@
+"""ABoxes: finite sets of concept and role assertions (the database)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class ConceptAssertion:
+    """``A(individual)``."""
+
+    concept: str
+    individual: str
+
+    def __str__(self) -> str:
+        return f"{self.concept}({self.individual})"
+
+
+@dataclass(frozen=True, order=True)
+class RoleAssertion:
+    """``R(subject, object)``."""
+
+    role: str
+    subject: str
+    object: str
+
+    def __str__(self) -> str:
+        return f"{self.role}({self.subject}, {self.object})"
+
+
+Assertion = Union[ConceptAssertion, RoleAssertion]
+
+
+class ABox:
+    """A mutable fact set with per-predicate indexes.
+
+    Internally facts are kept per predicate: a set of 1-tuples for concepts
+    and of 2-tuples for roles — the same *fact store* shape the naive
+    evaluator (:mod:`repro.queries.evaluate`) consumes directly.
+    """
+
+    def __init__(self, assertions: Iterable[Assertion] = ()) -> None:
+        self._concepts: Dict[str, Set[Tuple[str]]] = {}
+        self._roles: Dict[str, Set[Tuple[str, str]]] = {}
+        for assertion in assertions:
+            self.add(assertion)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, assertion: Assertion) -> None:
+        """Insert one assertion (idempotent)."""
+        if isinstance(assertion, ConceptAssertion):
+            self._concepts.setdefault(assertion.concept, set()).add(
+                (assertion.individual,)
+            )
+        elif isinstance(assertion, RoleAssertion):
+            self._roles.setdefault(assertion.role, set()).add(
+                (assertion.subject, assertion.object)
+            )
+        else:
+            raise TypeError(f"not an assertion: {assertion!r}")
+
+    def add_concept(self, concept: str, individual: str) -> None:
+        """Insert ``concept(individual)``."""
+        self.add(ConceptAssertion(concept, individual))
+
+    def add_role(self, role: str, subject: str, obj: str) -> None:
+        """Insert ``role(subject, obj)``."""
+        self.add(RoleAssertion(role, subject, obj))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def concept_facts(self, concept: str) -> Set[Tuple[str]]:
+        """The 1-tuples asserted for *concept*."""
+        return self._concepts.get(concept, set())
+
+    def role_facts(self, role: str) -> Set[Tuple[str, str]]:
+        """The 2-tuples asserted for *role*."""
+        return self._roles.get(role, set())
+
+    def concept_names(self) -> FrozenSet[str]:
+        """Concepts with at least one assertion."""
+        return frozenset(self._concepts)
+
+    def role_names(self) -> FrozenSet[str]:
+        """Roles with at least one assertion."""
+        return frozenset(self._roles)
+
+    def individuals(self) -> FrozenSet[str]:
+        """All constants appearing in any assertion."""
+        names: Set[str] = set()
+        for rows in self._concepts.values():
+            for (individual,) in rows:
+                names.add(individual)
+        for rows in self._roles.values():
+            for subject, obj in rows:
+                names.add(subject)
+                names.add(obj)
+        return frozenset(names)
+
+    def fact_store(self) -> Dict[str, Set[Tuple]]:
+        """The ``{predicate: set-of-tuples}`` view used by evaluators."""
+        store: Dict[str, Set[Tuple]] = {}
+        store.update({name: set(rows) for name, rows in self._concepts.items()})
+        store.update({name: set(rows) for name, rows in self._roles.items()})
+        return store
+
+    def assertions(self) -> Iterator[Assertion]:
+        """Iterate over all assertions in deterministic order."""
+        for concept in sorted(self._concepts):
+            for (individual,) in sorted(self._concepts[concept]):
+                yield ConceptAssertion(concept, individual)
+        for role in sorted(self._roles):
+            for subject, obj in sorted(self._roles[role]):
+                yield RoleAssertion(role, subject, obj)
+
+    def __len__(self) -> int:
+        concept_count = sum(len(rows) for rows in self._concepts.values())
+        role_count = sum(len(rows) for rows in self._roles.values())
+        return concept_count + role_count
+
+    def __contains__(self, assertion: Assertion) -> bool:
+        if isinstance(assertion, ConceptAssertion):
+            return (assertion.individual,) in self.concept_facts(assertion.concept)
+        if isinstance(assertion, RoleAssertion):
+            return (assertion.subject, assertion.object) in self.role_facts(
+                assertion.role
+            )
+        return False
+
+    def __str__(self) -> str:
+        return "\n".join(str(a) for a in self.assertions())

@@ -1,0 +1,113 @@
+"""DL-LiteR TBox axioms and their first-order logic readings.
+
+A DL-LiteR TBox constraint is either (Section 2.1 of the paper):
+
+* a concept inclusion ``B1 <= B2`` or ``B1 <= not B2`` with ``B1``, ``B2``
+  basic concepts (concept names or ``exists R`` for signed roles), or
+* a role inclusion ``R1 <= R2`` or ``R1 <= not R2`` with signed roles.
+
+Negation may only appear on the right-hand side; negative constraints
+express disjointness and only affect KB *consistency*, never positive
+reformulation. :func:`axiom_to_fol` renders the 11 positive forms exactly as
+Table 3 of the paper, plus the negated variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.dllite.vocabulary import AtomicConcept, BasicConcept, Exists, Role
+
+
+@dataclass(frozen=True, order=True)
+class ConceptInclusion:
+    """``lhs <= rhs`` (or ``lhs <= not rhs`` when ``negative``)."""
+
+    lhs: BasicConcept
+    rhs: BasicConcept
+    negative: bool = False
+
+    def __str__(self) -> str:
+        rhs = f"not {self.rhs}" if self.negative else str(self.rhs)
+        return f"{self.lhs} <= {rhs}"
+
+
+@dataclass(frozen=True, order=True)
+class RoleInclusion:
+    """``lhs <= rhs`` (or ``lhs <= not rhs`` when ``negative``) over roles."""
+
+    lhs: Role
+    rhs: Role
+    negative: bool = False
+
+    def __str__(self) -> str:
+        rhs = f"not {self.rhs}" if self.negative else str(self.rhs)
+        return f"{self.lhs} <= {rhs}"
+
+
+Axiom = Union[ConceptInclusion, RoleInclusion]
+
+
+def concept_inclusion(
+    lhs: BasicConcept, rhs: BasicConcept, negative: bool = False
+) -> ConceptInclusion:
+    """Build a concept inclusion axiom."""
+    return ConceptInclusion(lhs, rhs, negative)
+
+
+def role_inclusion(lhs: Role, rhs: Role, negative: bool = False) -> RoleInclusion:
+    """Build a role inclusion axiom."""
+    return RoleInclusion(lhs, rhs, negative)
+
+
+def _concept_formula(expression: BasicConcept, var: str, helper: str) -> str:
+    """FOL rendering of membership of ``var`` in a basic concept."""
+    if isinstance(expression, AtomicConcept):
+        return f"{expression.name}({var})"
+    assert isinstance(expression, Exists)
+    if expression.role.inverse:
+        return f"exists {helper} {expression.role.name}({helper}, {var})"
+    return f"exists {helper} {expression.role.name}({var}, {helper})"
+
+
+def _role_args(signed: Role, x: str, y: str) -> str:
+    """FOL rendering of a signed role atom over (x, y)."""
+    if signed.inverse:
+        return f"{signed.name}({y}, {x})"
+    return f"{signed.name}({x}, {y})"
+
+
+def axiom_to_fol(axiom: Axiom) -> str:
+    """The first-order sentence equivalent to *axiom* (Table 3).
+
+    Examples
+    --------
+    ``A <= A'``             -> ``forall x [A(x) => A'(x)]``
+    ``A <= exists R``       -> ``forall x [A(x) => exists y R(x, y)]``
+    ``exists R- <= A``      -> ``forall x [exists y R(y, x) => A(x)]``
+    ``R <= R'-``            -> ``forall x, y [R(x, y) => R'(y, x)]``
+
+    Negative axioms render with a negated consequent, e.g.
+    ``A <= not B`` -> ``forall x [A(x) => not B(x)]``.
+    """
+    if isinstance(axiom, ConceptInclusion):
+        antecedent = _concept_formula(axiom.lhs, "x", "y")
+        consequent = _concept_formula(axiom.rhs, "x", "z")
+        if axiom.negative:
+            consequent = f"not {consequent}"
+        return f"forall x [{antecedent} => {consequent}]"
+    if isinstance(axiom, RoleInclusion):
+        antecedent = _role_args(axiom.lhs, "x", "y")
+        consequent = _role_args(axiom.rhs, "x", "y")
+        if axiom.negative:
+            consequent = f"not {consequent}"
+        return f"forall x, y [{antecedent} => {consequent}]"
+    raise TypeError(f"not an axiom: {axiom!r}")
+
+
+def mentioned_predicates(axiom: Axiom) -> frozenset:
+    """Concept/role *names* appearing in the axiom (for signature checks)."""
+    from repro.dllite.vocabulary import predicate_name
+
+    return frozenset({predicate_name(axiom.lhs), predicate_name(axiom.rhs)})

@@ -1,0 +1,136 @@
+"""Knowledge bases ``K = <T, A>``: consistency and entailment.
+
+Consistency follows the classical DL-LiteR recipe: a KB is inconsistent iff
+some (declared) disjointness constraint is violated by the facts *together
+with everything the positive constraints entail*. Each negative axiom is
+compiled into a Boolean *violation query*, answered through FOL
+reformulation against the ABox alone — the very machinery the paper
+optimizes. Assertion entailment works the same way (Example 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple, Union
+
+from repro.dllite.abox import ABox, Assertion, ConceptAssertion, RoleAssertion
+from repro.dllite.axioms import Axiom, ConceptInclusion, RoleInclusion
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import AtomicConcept, BasicConcept, Exists, Role
+from repro.queries.atoms import Atom, concept_atom, role_atom
+from repro.queries.cq import CQ
+from repro.queries.terms import Constant, Term, Variable, fresh_variable
+
+
+class InconsistentKBError(Exception):
+    """Raised when an operation requires a consistent KB and it is not."""
+
+    def __init__(self, violated: Axiom) -> None:
+        super().__init__(f"KB is inconsistent: violates {violated}")
+        self.violated = violated
+
+
+def _basic_concept_atom(expression: BasicConcept, term: Term) -> Atom:
+    """The atom asserting membership of *term* in a basic concept."""
+    if isinstance(expression, AtomicConcept):
+        return concept_atom(expression.name, term)
+    assert isinstance(expression, Exists)
+    witness = fresh_variable()
+    if expression.role.inverse:
+        return role_atom(expression.role.name, witness, term)
+    return role_atom(expression.role.name, term, witness)
+
+
+def _signed_role_atom(signed: Role, subject: Term, obj: Term) -> Atom:
+    """The atom for a signed role over an (subject, object) pair."""
+    if signed.inverse:
+        return role_atom(signed.name, obj, subject)
+    return role_atom(signed.name, subject, obj)
+
+
+def violation_query(axiom: Axiom) -> CQ:
+    """The Boolean CQ that is non-empty iff *axiom* (negative) is violated."""
+    if not axiom.negative:
+        raise ValueError(f"only negative axioms have violation queries: {axiom}")
+    if isinstance(axiom, ConceptInclusion):
+        shared = Variable("x")
+        atoms = (
+            _basic_concept_atom(axiom.lhs, shared),
+            _basic_concept_atom(axiom.rhs, shared),
+        )
+        return CQ(head=(), atoms=atoms, name="violation")
+    assert isinstance(axiom, RoleInclusion)
+    subject, obj = Variable("x"), Variable("y")
+    atoms = (
+        _signed_role_atom(axiom.lhs, subject, obj),
+        _signed_role_atom(axiom.rhs, subject, obj),
+    )
+    return CQ(head=(), atoms=atoms, name="violation")
+
+
+class KnowledgeBase:
+    """A DL-LiteR knowledge base pairing a TBox with an ABox."""
+
+    def __init__(self, tbox: TBox, abox: ABox) -> None:
+        self.tbox = tbox
+        self.abox = abox
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def first_violated_constraint(self) -> Optional[Axiom]:
+        """The first violated disjointness constraint, or None."""
+        from repro.queries.evaluate import evaluate_ucq
+        from repro.reformulation.perfectref import reformulate_to_ucq
+
+        facts = self.abox.fact_store()
+        for axiom in self.tbox.negative_axioms():
+            query = violation_query(axiom)
+            reformulation = reformulate_to_ucq(query, self.tbox)
+            if evaluate_ucq(reformulation, facts):
+                return axiom
+        return None
+
+    def is_consistent(self) -> bool:
+        """True iff no disjointness constraint is violated (Section 2.1)."""
+        return self.first_violated_constraint() is None
+
+    def check_consistency(self) -> None:
+        """Raise :class:`InconsistentKBError` when the KB is inconsistent."""
+        violated = self.first_violated_constraint()
+        if violated is not None:
+            raise InconsistentKBError(violated)
+
+    # ------------------------------------------------------------------
+    # Entailment
+    # ------------------------------------------------------------------
+    def entails_assertion(self, assertion: Assertion) -> bool:
+        """Decide ``K |= assertion`` by Boolean query answering."""
+        from repro.queries.evaluate import evaluate_ucq
+        from repro.reformulation.perfectref import reformulate_to_ucq
+
+        if isinstance(assertion, ConceptAssertion):
+            body: Tuple[Atom, ...] = (
+                concept_atom(assertion.concept, Constant(assertion.individual)),
+            )
+        elif isinstance(assertion, RoleAssertion):
+            body = (
+                role_atom(
+                    assertion.role,
+                    Constant(assertion.subject),
+                    Constant(assertion.object),
+                ),
+            )
+        else:
+            raise TypeError(f"not an assertion: {assertion!r}")
+        query = CQ(head=(), atoms=body, name="entails")
+        reformulation = reformulate_to_ucq(query, self.tbox)
+        return bool(evaluate_ucq(reformulation, self.abox.fact_store()))
+
+    def entails(self, statement: Union[Axiom, Assertion]) -> bool:
+        """Decide ``K |= statement`` for an axiom or an assertion."""
+        if isinstance(statement, (ConceptInclusion, RoleInclusion)):
+            return self.tbox.entails(statement)
+        return self.entails_assertion(statement)
+
+    def __str__(self) -> str:
+        return f"TBox:\n{self.tbox}\nABox:\n{self.abox}"

@@ -1,0 +1,187 @@
+"""A compact text syntax for TBoxes, ABoxes and conjunctive queries.
+
+TBox axioms::
+
+    PhDStudent <= Researcher
+    exists worksWith <= Researcher
+    exists worksWith- <= Researcher
+    worksWith <= worksWith-            (role inclusion: see below)
+    supervisedBy <= worksWith
+    PhDStudent <= not exists supervisedBy-
+
+Role-vs-concept disambiguation: a side written ``exists N`` (or ``exists
+N-``) is a basic concept; a bare name followed by ``-`` is a role. When both
+sides are bare names the axiom is ambiguous, and the parser consults the set
+of *declared role names* — declare them first with ``role worksWith`` lines
+(or pass ``role_names=...``). Undeclared bare names default to concepts.
+
+ABox assertions::
+
+    PhDStudent(Damian)
+    worksWith(Ioana, Francois)
+
+Queries::
+
+    q(x) <- PhDStudent(x), worksWith(y, x)
+
+Argument tokens that are entirely lowercase are variables; any token
+starting with an upper-case letter, a digit, or written in double quotes is
+a constant.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dllite.abox import ABox, ConceptAssertion, RoleAssertion
+from repro.dllite.axioms import Axiom, ConceptInclusion, RoleInclusion
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import AtomicConcept, Exists, Role
+from repro.queries.atoms import Atom
+from repro.queries.cq import CQ
+from repro.queries.terms import Constant, Term, Variable
+
+_ATOM_RE = re.compile(r"^\s*([A-Za-z_][\w.-]*)\s*\(([^)]*)\)\s*$")
+_HEAD_RE = re.compile(r"^\s*([A-Za-z_]\w*)\s*\(([^)]*)\)\s*$")
+
+
+class ParseError(ValueError):
+    """Raised on malformed KB or query text."""
+
+
+def _parse_side(text: str, role_names: Set[str]):
+    """Parse one side of an axiom into a BasicConcept or a Role."""
+    text = text.strip()
+    if text.startswith("exists "):
+        remainder = text[len("exists ") :].strip()
+        return Exists(_parse_role_token(remainder))
+    if text.endswith("-"):
+        return _parse_role_token(text)
+    if text in role_names:
+        return Role(text)
+    return AtomicConcept(text)
+
+
+def _parse_role_token(text: str) -> Role:
+    text = text.strip()
+    if text.endswith("-"):
+        return Role(text[:-1], inverse=True)
+    return Role(text)
+
+
+def parse_axiom(text: str, role_names: Optional[Iterable[str]] = None) -> Axiom:
+    """Parse a single axiom line."""
+    roles: Set[str] = set(role_names or ())
+    if "<=" not in text:
+        raise ParseError(f"axiom must contain '<=': {text!r}")
+    lhs_text, rhs_text = text.split("<=", 1)
+    rhs_text = rhs_text.strip()
+    negative = False
+    if rhs_text.startswith("not "):
+        negative = True
+        rhs_text = rhs_text[len("not ") :].strip()
+    lhs = _parse_side(lhs_text, roles)
+    rhs = _parse_side(rhs_text, roles)
+
+    lhs_is_role = isinstance(lhs, Role)
+    rhs_is_role = isinstance(rhs, Role)
+    # Harmonize: if one side is definitely a role, the bare-name other side
+    # must be a role too (role inclusions relate roles to roles).
+    if lhs_is_role != rhs_is_role:
+        if lhs_is_role and isinstance(rhs, AtomicConcept):
+            rhs = Role(rhs.name)
+            rhs_is_role = True
+        elif rhs_is_role and isinstance(lhs, AtomicConcept):
+            lhs = Role(lhs.name)
+            lhs_is_role = True
+        else:
+            raise ParseError(
+                f"cannot mix a role and a concept in one inclusion: {text!r}"
+            )
+    if lhs_is_role:
+        return RoleInclusion(lhs, rhs, negative)
+    return ConceptInclusion(lhs, rhs, negative)
+
+
+def parse_tbox(text: str) -> TBox:
+    """Parse a multi-line TBox with optional ``role``/``concept`` declarations."""
+    axioms: List[Axiom] = []
+    role_names: Set[str] = set()
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("role "):
+            role_names.update(name.strip() for name in line[5:].split(",") if name.strip())
+            continue
+        if line.startswith("concept "):
+            continue  # concepts need no declaration; accepted for symmetry
+        axioms.append(parse_axiom(line, role_names))
+    return TBox(axioms)
+
+
+def parse_abox(text: str) -> ABox:
+    """Parse a multi-line ABox of ``Pred(a)`` / ``Pred(a, b)`` assertions."""
+    abox = ABox()
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _ATOM_RE.match(line)
+        if not match:
+            raise ParseError(f"malformed assertion: {line!r}")
+        predicate, arg_text = match.groups()
+        args = [a.strip().strip('"') for a in arg_text.split(",") if a.strip()]
+        if len(args) == 1:
+            abox.add(ConceptAssertion(predicate, args[0]))
+        elif len(args) == 2:
+            abox.add(RoleAssertion(predicate, args[0], args[1]))
+        else:
+            raise ParseError(f"assertions must have 1 or 2 arguments: {line!r}")
+    return abox
+
+
+def _parse_query_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if token.startswith('"') and token.endswith('"'):
+        return Constant(token[1:-1])
+    if token[0].isdigit():
+        return Constant(int(token)) if token.isdigit() else Constant(token)
+    if token[0].islower() or token[0] == "_":
+        return Variable(token)
+    return Constant(token)
+
+
+def parse_query(text: str) -> CQ:
+    """Parse ``q(x, y) <- A(x), R(x, y)`` into a :class:`CQ`."""
+    if "<-" not in text:
+        raise ParseError(f"query must contain '<-': {text!r}")
+    head_text, body_text = text.split("<-", 1)
+    head_match = _HEAD_RE.match(head_text)
+    if not head_match:
+        raise ParseError(f"malformed query head: {head_text!r}")
+    name, head_args = head_match.groups()
+    head_terms = tuple(
+        _parse_query_term(token)
+        for token in head_args.split(",")
+        if token.strip()
+    )
+
+    atoms: List[Atom] = []
+    for chunk in re.findall(r"[A-Za-z_][\w.-]*\s*\([^)]*\)", body_text):
+        match = _ATOM_RE.match(chunk)
+        if not match:
+            raise ParseError(f"malformed atom: {chunk!r}")
+        predicate, arg_text = match.groups()
+        args = tuple(
+            _parse_query_term(token)
+            for token in arg_text.split(",")
+            if token.strip()
+        )
+        atoms.append(Atom(predicate, args))
+    if not atoms:
+        raise ParseError(f"query body has no atoms: {text!r}")
+    return CQ(head=head_terms, atoms=tuple(atoms), name=name)

@@ -1,0 +1,126 @@
+"""A bounded restricted chase: the ground-truth oracle for query answering.
+
+The chase materializes the facts entailed by a KB's positive constraints,
+inventing *labeled nulls* to witness existential axioms (``A <= exists R``).
+For TBoxes whose existential dependencies are acyclic the chase terminates
+and its (null-free) query answers are exactly the certain answers; for
+cyclic TBoxes a generation bound cuts the construction, which is still a
+sound under-approximation used to cross-check reformulation on tests whose
+queries never reach the bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.dllite.abox import ABox
+from repro.dllite.axioms import ConceptInclusion, RoleInclusion
+from repro.dllite.kb import KnowledgeBase
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import AtomicConcept, BasicConcept, Exists, Role
+from repro.queries.cq import CQ
+from repro.queries.evaluate import evaluate_cq
+
+NULL_PREFIX = "_:null"
+
+FactStore = Dict[str, Set[Tuple]]
+
+
+def is_null(value: object) -> bool:
+    """True for labeled nulls invented by the chase."""
+    return isinstance(value, str) and value.startswith(NULL_PREFIX)
+
+
+def _extension(store: FactStore, basic: BasicConcept) -> Set[str]:
+    """Current extension of a basic concept in the store."""
+    if isinstance(basic, AtomicConcept):
+        return {row[0] for row in store.get(basic.name, ())}
+    assert isinstance(basic, Exists)
+    position = 1 if basic.role.inverse else 0
+    return {row[position] for row in store.get(basic.role.name, ())}
+
+
+def _signed_pairs(store: FactStore, signed: Role) -> Set[Tuple[str, str]]:
+    rows = store.get(signed.name, set())
+    if signed.inverse:
+        return {(obj, subj) for subj, obj in rows}
+    return set(rows)
+
+
+def chase(kb: KnowledgeBase, max_generations: int = 4) -> FactStore:
+    """Materialize entailed facts, bounding existential generations.
+
+    ``max_generations`` limits how many times existential rules may fire on
+    individuals that are themselves nulls (generation 0 = ABox constants).
+    """
+    store: FactStore = {k: set(v) for k, v in kb.abox.fact_store().items()}
+    generation: Dict[str, int] = {}
+    null_counter = itertools.count()
+
+    def gen_of(value: str) -> int:
+        return generation.get(value, 0)
+
+    def add_fact(predicate: str, row: Tuple) -> bool:
+        rows = store.setdefault(predicate, set())
+        if row in rows:
+            return False
+        rows.add(row)
+        return True
+
+    positive = [a for a in kb.tbox.axioms if not a.negative]
+    changed = True
+    while changed:
+        changed = False
+        for axiom in positive:
+            if isinstance(axiom, RoleInclusion):
+                for subject, obj in _signed_pairs(store, axiom.lhs):
+                    if axiom.rhs.inverse:
+                        row = (obj, subject)
+                    else:
+                        row = (subject, obj)
+                    if add_fact(axiom.rhs.name, row):
+                        changed = True
+                continue
+
+            assert isinstance(axiom, ConceptInclusion)
+            members = _extension(store, axiom.lhs)
+            if isinstance(axiom.rhs, AtomicConcept):
+                for member in members:
+                    if add_fact(axiom.rhs.name, (member,)):
+                        changed = True
+                continue
+
+            assert isinstance(axiom.rhs, Exists)
+            role_name = axiom.rhs.role.name
+            witness_position = 0 if axiom.rhs.role.inverse else 1
+            member_position = 1 - witness_position
+            already_witnessed = {
+                row[member_position] for row in store.get(role_name, ())
+            }
+            for member in members:
+                if member in already_witnessed:
+                    continue
+                if gen_of(member) >= max_generations:
+                    continue
+                null = f"{NULL_PREFIX}{next(null_counter)}"
+                generation[null] = gen_of(member) + 1
+                row = [None, None]
+                row[member_position] = member
+                row[witness_position] = null
+                if add_fact(role_name, tuple(row)):
+                    changed = True
+    return store
+
+
+def certain_answers(
+    query: CQ, kb: KnowledgeBase, max_generations: int = 4
+) -> Set[Tuple]:
+    """Certain answers of *query* over *kb* via the bounded chase.
+
+    Rows containing labeled nulls are filtered out: nulls witness existence
+    but are not named individuals, hence cannot appear in certain answers.
+    """
+    store = chase(kb, max_generations=max_generations)
+    answers = evaluate_cq(query, store)
+    return {row for row in answers if not any(is_null(value) for value in row)}

@@ -1,0 +1,96 @@
+"""The DL-LiteR vocabulary: concepts, roles, inverses and existentials.
+
+Following Section 2.1 of the paper:
+
+* ``NC`` — concept names (unary predicates), here :class:`AtomicConcept`;
+* ``NR`` — role names (binary predicates); a :class:`Role` carries an
+  ``inverse`` flag, so ``N±R = NR ∪ {r- | r ∈ NR}`` is the set of all
+  :class:`Role` values;
+* a *basic concept* is a concept name or an unqualified existential
+  ``exists R`` for ``R ∈ N±R`` (the projection of ``R`` on its first
+  attribute), here :class:`Exists`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class AtomicConcept:
+    """A concept name ``A`` from NC."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Role:
+    """A role name from NR, or its inverse when ``inverse`` is set.
+
+    ``Role("supervisedBy").inverted()`` denotes ``supervisedBy-`` whose
+    extension is ``{(b, a) | supervisedBy(a, b)}``.
+    """
+
+    name: str
+    inverse: bool = False
+
+    def inverted(self) -> "Role":
+        """The inverse role (involution: inverting twice is the identity)."""
+        return Role(self.name, not self.inverse)
+
+    def __str__(self) -> str:
+        return f"{self.name}-" if self.inverse else self.name
+
+
+@dataclass(frozen=True, order=True)
+class Exists:
+    """The basic concept ``exists R``: constants in the first position of R."""
+
+    role: Role
+
+    def __str__(self) -> str:
+        return f"exists {self.role}"
+
+
+BasicConcept = Union[AtomicConcept, Exists]
+
+
+def concept(name: str) -> AtomicConcept:
+    """Shorthand constructor for a concept name."""
+    return AtomicConcept(name)
+
+
+def role(name: str) -> Role:
+    """Shorthand constructor for a (direct) role."""
+    return Role(name)
+
+
+def inverse(role_name: str) -> Role:
+    """Shorthand constructor for an inverse role ``role_name-``."""
+    return Role(role_name, inverse=True)
+
+
+def exists(of: Union[Role, str]) -> Exists:
+    """Shorthand for ``exists R``; accepts a role or a role name."""
+    if isinstance(of, str):
+        of = Role(of)
+    return Exists(of)
+
+
+def predicate_name(expression: Union[BasicConcept, Role]) -> str:
+    """The concept or role *name* underlying any vocabulary expression.
+
+    This is the ``cr(Y)`` function of Definition 4 in the paper: it strips
+    inverses and existentials, returning the bare predicate name.
+    """
+    if isinstance(expression, AtomicConcept):
+        return expression.name
+    if isinstance(expression, Exists):
+        return expression.role.name
+    if isinstance(expression, Role):
+        return expression.name
+    raise TypeError(f"not a vocabulary expression: {expression!r}")

@@ -1,0 +1,97 @@
+"""The catalog: table registry plus per-column statistics.
+
+``analyze()`` gathers the statistics the cost-based planner (and the
+paper's external cost model) relies on: table cardinality and the number of
+distinct values per column — the classic inputs for selectivity estimation
+under the uniformity and independence assumptions (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.engine.errors import UnknownTableError
+from repro.engine.relation import Table
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    distinct_values: int = 0
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    cardinality: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def distinct(self, column: str) -> int:
+        """Distinct count for *column* (at least 1 for non-empty tables)."""
+        stats = self.columns.get(column)
+        if stats is None:
+            return max(1, self.cardinality)
+        return max(1, stats.distinct_values)
+
+
+class Catalog:
+    """Tables by name, with on-demand statistics."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._stats: Dict[str, TableStats] = {}
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        """Create a table; replaces any existing table of the same name."""
+        table = Table(name, columns)
+        self._tables[name.lower()] = table
+        self._stats.pop(name.lower(), None)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table if present."""
+        self._tables.pop(name.lower(), None)
+        self._stats.pop(name.lower(), None)
+
+    def table(self, name: str) -> Table:
+        """Look a table up (case-insensitive)."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError as missing:
+            raise UnknownTableError(f"unknown table {name!r}") from missing
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    def analyze(self, name: Optional[str] = None) -> None:
+        """Collect statistics for one table, or for all of them."""
+        targets = [self.table(name)] if name else list(self._tables.values())
+        for table in targets:
+            stats = TableStats(cardinality=len(table.rows))
+            for position, column in enumerate(table.columns):
+                distinct = len({row[position] for row in table.rows})
+                stats.columns[column] = ColumnStats(distinct_values=distinct)
+            self._stats[table.name.lower()] = stats
+
+    def statistics(self, name: str) -> TableStats:
+        """Statistics for *name*, computing them lazily if missing."""
+        key = name.lower()
+        if key not in self._stats:
+            self.analyze(name)
+        return self._stats[key]
+
+    def set_statistics(self, name: str, stats: TableStats) -> None:
+        """Inject externally computed statistics for *name*.
+
+        Used by shadow catalogs: the SQLite backend estimates costs by
+        planning against empty tables whose statistics mirror the real
+        data (the planner only consults statistics, never row counts).
+        """
+        self.table(name)  # validate existence
+        self._stats[name.lower()] = stats

@@ -1,0 +1,40 @@
+"""Engine error hierarchy."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all MiniRDBMS errors."""
+
+
+class SQLSyntaxError(EngineError):
+    """Raised when a statement cannot be parsed."""
+
+
+class UnknownTableError(EngineError):
+    """Raised when a statement references a table that does not exist."""
+
+
+class UnknownColumnError(EngineError):
+    """Raised when a statement references a column that does not exist."""
+
+
+class PlanningError(EngineError):
+    """Raised when no execution plan can be built for a valid statement."""
+
+
+class StatementTooLongError(EngineError):
+    """The statement exceeds the engine's length limit.
+
+    Mirrors DB2's SQL0101N failure the paper reports for RDF-layout
+    reformulations of Q9 and Q10 ("The statement is too long or too
+    complex. Current SQL statement size is 2,247,118").
+    """
+
+    def __init__(self, size: int, limit: int) -> None:
+        super().__init__(
+            "The statement is too long or too complex. "
+            f"Current SQL statement size is {size:,} (limit {limit:,})."
+        )
+        self.size = size
+        self.limit = limit

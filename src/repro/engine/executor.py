@@ -1,0 +1,17 @@
+"""Plan execution: materialize CTEs in order, then pull the body."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.planner import Plan
+
+Row = Tuple
+
+
+def execute_plan(plan: Plan) -> List[Row]:
+    """Run *plan*: CTEs are materialized once, the body streams over them."""
+    context: Dict[str, List[Row]] = {}
+    for name, materialize in plan.cte_plans:
+        context[name] = list(materialize.rows(context))
+    return list(plan.body.rows(context))

@@ -1,0 +1,47 @@
+"""EXPLAIN: render a plan tree with the planner's cost estimates.
+
+This is MiniRDBMS's analogue of Postgres ``EXPLAIN`` / DB2 ``db2expln`` —
+the facility the paper's GDL algorithm consumes in its "RDBMS cost
+estimation" mode. :func:`explain_text` is for humans;
+:class:`ExplainResult` carries the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.engine.operators import Operator
+from repro.engine.planner import Plan
+
+
+@dataclass
+class ExplainResult:
+    """Cost summary of a planned statement."""
+
+    total_cost: float
+    est_rows: float
+    text: str
+
+
+def _render(op: Operator, depth: int, lines: List[str]) -> None:
+    indent = "  " * depth
+    lines.append(
+        f"{indent}{op.label()}  (rows={op.est_rows:.1f}, cost={op.cost:.1f})"
+    )
+    for child in op.children():
+        _render(child, depth + 1, lines)
+
+
+def explain_plan(plan: Plan) -> ExplainResult:
+    """Render *plan* and collect its planner estimates."""
+    lines: List[str] = []
+    for name, materialize in plan.cte_plans:
+        _render(materialize, 0, lines)
+    _render(plan.body, 0, lines)
+    lines.append(f"Total estimated cost: {plan.total_cost:.1f}")
+    return ExplainResult(
+        total_cost=plan.total_cost,
+        est_rows=plan.est_rows,
+        text="\n".join(lines),
+    )

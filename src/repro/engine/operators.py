@@ -1,0 +1,487 @@
+"""Physical operators: pull-based iterators with planner cost annotations.
+
+Every operator exposes:
+
+* ``columns`` — qualified output column labels (``alias.column``);
+* ``est_rows`` / ``est_ndv`` / ``cost`` — the planner's estimates
+  (cumulative cost includes the children);
+* ``rows(context)`` — the executed row iterator; ``context`` carries the
+  materialized CTE results.
+
+Cost constants live in :class:`CostParameters` so backends can be
+calibrated (Section 6.1 of the paper calibrates "a few constant
+coefficients" per system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.relation import Table
+
+Row = Tuple
+Context = Dict[str, List[Row]]
+
+
+@dataclass
+class CostParameters:
+    """Calibration constants for the engine's cost model."""
+
+    seq_scan_per_row: float = 1.0
+    index_probe: float = 0.02
+    hash_build_per_row: float = 1.2
+    hash_probe_per_row: float = 1.0
+    output_per_row: float = 0.4
+    dedup_per_row: float = 1.1
+    materialize_per_row: float = 0.8
+    cross_join_penalty: float = 8.0
+
+
+DEFAULT_COSTS = CostParameters()
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    columns: List[str]
+    est_rows: float
+    est_ndv: Dict[str, float]
+    cost: float
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Operator"]:
+        return ()
+
+    def label(self) -> str:
+        """One-line description for EXPLAIN output."""
+        return type(self).__name__
+
+
+class SeqScan(Operator):
+    """Full scan of a base table, with optional pushed-down equality filters.
+
+    When a single-column filter matches a hash index, execution probes the
+    index instead of scanning (the planner discounts the cost accordingly).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        filters: Sequence[Tuple[int, object]],
+        stats,
+        params: CostParameters,
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.filters = list(filters)
+        self.columns = [f"{alias}.{c}" for c in table.columns]
+        cardinality = float(max(stats.cardinality, 0))
+        selectivity = 1.0
+        for position, _value in self.filters:
+            column = table.columns[position]
+            selectivity /= max(1.0, float(stats.distinct(column)))
+        self.est_rows = max(cardinality * selectivity, 0.0)
+        self.est_ndv = {}
+        for column in table.columns:
+            ndv = float(stats.distinct(column))
+            self.est_ndv[f"{alias}.{column}"] = max(
+                1.0, min(ndv, self.est_rows or 1.0)
+            )
+        self._index = None
+        if len(self.filters) == 1:
+            position, value = self.filters[0]
+            index = table.index_on((table.columns[position],))
+            if index is not None:
+                self._index = (index, value)
+        if self._index is not None:
+            self.cost = params.index_probe + params.output_per_row * self.est_rows
+        else:
+            self.cost = params.seq_scan_per_row * cardinality
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        if self._index is not None:
+            index, value = self._index
+            yield from index.lookup((value,))
+            return
+        for row in self.table.rows:
+            ok = True
+            for position, value in self.filters:
+                if row[position] != value:
+                    ok = False
+                    break
+            if ok:
+                yield row
+
+    def label(self) -> str:
+        access = "IndexProbe" if self._index is not None else "SeqScan"
+        rendered = f"{access} {self.table.name} AS {self.alias}"
+        if self.filters:
+            conds = ", ".join(
+                f"{self.table.columns[p]}={v!r}" for p, v in self.filters
+            )
+            rendered += f" [{conds}]"
+        return rendered
+
+
+class CTEScan(Operator):
+    """Scan of a materialized WITH-subquery."""
+
+    def __init__(
+        self,
+        name: str,
+        alias: str,
+        cte_columns: Sequence[str],
+        cte_root: Operator,
+        filters: Sequence[Tuple[int, object]],
+        params: CostParameters,
+    ) -> None:
+        self.name = name
+        self.alias = alias
+        self.filters = list(filters)
+        self.columns = [f"{alias}.{c}" for c in cte_columns]
+        selectivity = 1.0
+        for position, _value in self.filters:
+            source_label = cte_root.columns[position]
+            ndv = cte_root.est_ndv.get(source_label, cte_root.est_rows or 1.0)
+            selectivity /= max(1.0, ndv)
+        self.est_rows = max(cte_root.est_rows * selectivity, 0.0)
+        self.est_ndv = {}
+        for out_label, src_label in zip(self.columns, cte_root.columns):
+            ndv = cte_root.est_ndv.get(src_label, self.est_rows or 1.0)
+            self.est_ndv[out_label] = max(1.0, min(ndv, self.est_rows or 1.0))
+        self.cost = params.seq_scan_per_row * max(cte_root.est_rows, 0.0)
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        for row in context[self.name]:
+            ok = True
+            for position, value in self.filters:
+                if row[position] != value:
+                    ok = False
+                    break
+            if ok:
+                yield row
+
+    def label(self) -> str:
+        return f"CTEScan {self.name} AS {self.alias}"
+
+
+class Filter(Operator):
+    """Row-level filter: column-to-column equality within a single row."""
+
+    def __init__(
+        self, child: Operator, pairs: Sequence[Tuple[int, int, str]]
+    ) -> None:
+        self.child = child
+        self.pairs = list(pairs)  # (left position, right position, op)
+        self.columns = list(child.columns)
+        selectivity = 1.0
+        for left, right, op in self.pairs:
+            if op == "=":
+                ndv = max(
+                    child.est_ndv.get(child.columns[left], 1.0),
+                    child.est_ndv.get(child.columns[right], 1.0),
+                )
+                selectivity /= max(1.0, ndv)
+        self.est_rows = child.est_rows * selectivity
+        self.est_ndv = {
+            label: min(ndv, self.est_rows or 1.0)
+            for label, ndv in child.est_ndv.items()
+        }
+        self.cost = child.cost
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        for row in self.child.rows(context):
+            ok = True
+            for left, right, op in self.pairs:
+                if op == "=" and row[left] != row[right]:
+                    ok = False
+                    break
+                if op == "<>" and row[left] == row[right]:
+                    ok = False
+                    break
+            if ok:
+                yield row
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def label(self) -> str:
+        conds = ", ".join(
+            f"{self.columns[l]} {op} {self.columns[r]}" for l, r, op in self.pairs
+        )
+        return f"Filter [{conds}]"
+
+
+class ConstFilter(Operator):
+    """Filter rows by comparing a column against a constant.
+
+    Used when a constant predicate cannot be pushed into a scan (e.g. on a
+    derived subquery input).
+    """
+
+    def __init__(
+        self, child: Operator, tests: Sequence[Tuple[int, object, str]]
+    ) -> None:
+        self.child = child
+        self.tests = list(tests)  # (position, value, op)
+        self.columns = list(child.columns)
+        selectivity = 1.0
+        for position, _value, op in self.tests:
+            if op == "=":
+                ndv = child.est_ndv.get(child.columns[position], 1.0)
+                selectivity /= max(1.0, ndv)
+        self.est_rows = child.est_rows * selectivity
+        self.est_ndv = {
+            label: min(ndv, self.est_rows or 1.0)
+            for label, ndv in child.est_ndv.items()
+        }
+        self.cost = child.cost
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        for row in self.child.rows(context):
+            ok = True
+            for position, value, op in self.tests:
+                matches = row[position] == value
+                if (op == "=" and not matches) or (op == "<>" and matches):
+                    ok = False
+                    break
+            if ok:
+                yield row
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def label(self) -> str:
+        conds = ", ".join(
+            f"{self.columns[p]} {op} {v!r}" for p, v, op in self.tests
+        )
+        return f"ConstFilter [{conds}]"
+
+
+class HashJoin(Operator):
+    """Equi-join; builds a hash table on the (estimated) smaller input."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        key_pairs: Sequence[Tuple[int, int]],
+        params: CostParameters,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.key_pairs = list(key_pairs)  # positions: (left, right)
+        self.columns = list(left.columns) + list(right.columns)
+        selectivity = 1.0
+        for left_pos, right_pos in self.key_pairs:
+            left_ndv = left.est_ndv.get(left.columns[left_pos], left.est_rows or 1.0)
+            right_ndv = right.est_ndv.get(
+                right.columns[right_pos], right.est_rows or 1.0
+            )
+            selectivity /= max(1.0, max(left_ndv, right_ndv))
+        self.est_rows = left.est_rows * right.est_rows * selectivity
+        self.est_ndv = {}
+        for label, ndv in list(left.est_ndv.items()) + list(right.est_ndv.items()):
+            self.est_ndv[label] = max(1.0, min(ndv, self.est_rows or 1.0))
+        build_rows = min(left.est_rows, right.est_rows)
+        probe_rows = max(left.est_rows, right.est_rows)
+        self.cost = (
+            left.cost
+            + right.cost
+            + params.hash_build_per_row * build_rows
+            + params.hash_probe_per_row * probe_rows
+            + params.output_per_row * self.est_rows
+        )
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        left_rows = list(self.left.rows(context))
+        right_rows = list(self.right.rows(context))
+        left_width = len(self.left.columns)
+        # Build on the smaller actual side.
+        if len(left_rows) <= len(right_rows):
+            build_rows, probe_rows, build_is_left = left_rows, right_rows, True
+        else:
+            build_rows, probe_rows, build_is_left = right_rows, left_rows, False
+        buckets: Dict[Tuple, List[Row]] = {}
+        for row in build_rows:
+            if build_is_left:
+                key = tuple(row[l] for l, _ in self.key_pairs)
+            else:
+                key = tuple(row[r] for _, r in self.key_pairs)
+            buckets.setdefault(key, []).append(row)
+        for row in probe_rows:
+            if build_is_left:
+                key = tuple(row[r] for _, r in self.key_pairs)
+            else:
+                key = tuple(row[l] for l, _ in self.key_pairs)
+            for match in buckets.get(key, ()):  # type: ignore[arg-type]
+                if build_is_left:
+                    yield match + row
+                else:
+                    yield row + match
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        conds = ", ".join(
+            f"{self.left.columns[l]} = {self.right.columns[r]}"
+            for l, r in self.key_pairs
+        )
+        return f"HashJoin [{conds}]"
+
+
+class CrossJoin(Operator):
+    """Cartesian product (heavily penalized by the planner)."""
+
+    def __init__(
+        self, left: Operator, right: Operator, params: CostParameters
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.columns = list(left.columns) + list(right.columns)
+        self.est_rows = left.est_rows * right.est_rows
+        self.est_ndv = {}
+        for label, ndv in list(left.est_ndv.items()) + list(right.est_ndv.items()):
+            self.est_ndv[label] = max(1.0, min(ndv, self.est_rows or 1.0))
+        self.cost = (
+            left.cost
+            + right.cost
+            + params.cross_join_penalty * self.est_rows
+        )
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        right_rows = list(self.right.rows(context))
+        for left_row in self.left.rows(context):
+            for right_row in right_rows:
+                yield left_row + right_row
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+
+class Project(Operator):
+    """Projection onto expressions (column positions or literal values)."""
+
+    def __init__(
+        self,
+        child: Operator,
+        items: Sequence[Tuple[Optional[int], object, str]],
+        params: CostParameters,
+    ) -> None:
+        # items: (source position | None, literal value, output label)
+        self.child = child
+        self.items = list(items)
+        self.columns = [label for _, _, label in items]
+        self.est_rows = child.est_rows
+        self.est_ndv = {}
+        for position, _value, label in items:
+            if position is None:
+                self.est_ndv[label] = 1.0
+            else:
+                self.est_ndv[label] = child.est_ndv.get(
+                    child.columns[position], self.est_rows or 1.0
+                )
+        self.cost = child.cost + params.output_per_row * child.est_rows
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        for row in self.child.rows(context):
+            yield tuple(
+                row[position] if position is not None else value
+                for position, value, _label in self.items
+            )
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Project [{', '.join(self.columns)}]"
+
+
+class Distinct(Operator):
+    """Hash-based duplicate elimination."""
+
+    def __init__(self, child: Operator, params: CostParameters) -> None:
+        self.child = child
+        self.columns = list(child.columns)
+        ndv_product = 1.0
+        for label in child.columns:
+            ndv_product *= child.est_ndv.get(label, child.est_rows or 1.0)
+        self.est_rows = max(1.0, min(child.est_rows, ndv_product))
+        self.est_ndv = dict(child.est_ndv)
+        self.cost = child.cost + params.dedup_per_row * child.est_rows
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.rows(context):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class Union(Operator):
+    """UNION (deduplicating) or UNION ALL of equal-arity children."""
+
+    def __init__(
+        self, inputs: Sequence[Operator], all_rows: bool, params: CostParameters
+    ) -> None:
+        self.inputs = list(inputs)
+        self.all_rows = all_rows
+        self.columns = list(inputs[0].columns)
+        self.est_rows = sum(op.est_rows for op in inputs)
+        self.est_ndv = {}
+        for position, label in enumerate(self.columns):
+            total = sum(
+                op.est_ndv.get(op.columns[position], op.est_rows or 1.0)
+                for op in inputs
+            )
+            self.est_ndv[label] = max(1.0, min(total, self.est_rows or 1.0))
+        self.cost = sum(op.cost for op in inputs)
+        if not all_rows:
+            self.cost += params.dedup_per_row * self.est_rows
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        if self.all_rows:
+            for op in self.inputs:
+                yield from op.rows(context)
+            return
+        seen = set()
+        for op in self.inputs:
+            for row in op.rows(context):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+    def children(self) -> Sequence[Operator]:
+        return tuple(self.inputs)
+
+    def label(self) -> str:
+        return "Union" if not self.all_rows else "UnionAll"
+
+
+class Materialize(Operator):
+    """Materialization of a CTE result (the WITH evaluation strategy)."""
+
+    def __init__(self, name: str, child: Operator, params: CostParameters) -> None:
+        self.name = name
+        self.child = child
+        self.columns = list(child.columns)
+        self.est_rows = child.est_rows
+        self.est_ndv = dict(child.est_ndv)
+        self.cost = child.cost + params.materialize_per_row * child.est_rows
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        return self.child.rows(context)
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Materialize {self.name}"

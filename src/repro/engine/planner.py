@@ -1,0 +1,376 @@
+"""The cost-based planner: AST to physical operator trees.
+
+Planning one SELECT block proceeds as in a textbook System-R-lite:
+
+1. resolve FROM sources (base tables, CTEs, derived subqueries) and push
+   column-to-constant predicates down to scans;
+2. classify remaining predicates into join edges (columns from two
+   different sources) and residual filters;
+3. order joins greedily: start from the source with the smallest estimated
+   cardinality, repeatedly join the source whose hash join yields the
+   smallest estimated result (cartesian products are a last resort);
+4. apply residual filters as soon as both sides are available, then
+   project, then deduplicate for SELECT DISTINCT.
+
+UNION plans each branch independently; WITH plans and registers CTEs in
+order so later CTEs and the body can scan them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.catalog import Catalog, TableStats
+from repro.engine.errors import PlanningError, UnknownColumnError, UnknownTableError
+from repro.engine.operators import (
+    ConstFilter,
+    CostParameters,
+    CrossJoin,
+    CTEScan,
+    DEFAULT_COSTS,
+    Distinct,
+    Filter,
+    HashJoin,
+    Materialize,
+    Operator,
+    Project,
+    SeqScan,
+    Union,
+)
+from repro.engine.sqlparser import (
+    ColumnRef,
+    Condition,
+    Literal,
+    SelectCore,
+    SelectUnion,
+    Statement,
+    SubquerySource,
+    TableSource,
+)
+
+
+@dataclass
+class Plan:
+    """A fully planned statement."""
+
+    cte_plans: List[Tuple[str, Materialize]] = field(default_factory=list)
+    body: Operator = None  # type: ignore[assignment]
+
+    @property
+    def total_cost(self) -> float:
+        """Planner's cost estimate: CTE materializations plus the body."""
+        return sum(m.cost for _, m in self.cte_plans) + self.body.cost
+
+    @property
+    def est_rows(self) -> float:
+        return self.body.est_rows
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self.body.columns)
+
+
+@dataclass
+class _CTEInfo:
+    materialize: Materialize
+    out_columns: List[str]
+
+
+class Planner:
+    """Plans parsed statements against a catalog."""
+
+    def __init__(
+        self, catalog: Catalog, params: CostParameters = DEFAULT_COSTS
+    ) -> None:
+        self.catalog = catalog
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def plan(self, statement: Statement) -> Plan:
+        """Plan a full statement (CTEs in declaration order, then body)."""
+        ctes: Dict[str, _CTEInfo] = {}
+        plan = Plan()
+        for name, union in statement.ctes:
+            root = self._plan_union(union, ctes)
+            materialized = Materialize(name, root, self.params)
+            out_columns = [label.split(".")[-1] for label in root.columns]
+            ctes[name.lower()] = _CTEInfo(materialized, out_columns)
+            plan.cte_plans.append((name, materialized))
+        plan.body = self._plan_union(statement.body, ctes)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _plan_union(
+        self, union: SelectUnion, ctes: Dict[str, _CTEInfo]
+    ) -> Operator:
+        branches = [self._plan_select(core, ctes) for core in union.selects]
+        arities = {len(b.columns) for b in branches}
+        if len(arities) != 1:
+            raise PlanningError(f"UNION branches disagree on arity: {arities}")
+        if len(branches) == 1:
+            return branches[0]
+        return Union(branches, union.all, self.params)
+
+    # ------------------------------------------------------------------
+    def _plan_select(
+        self, core: SelectCore, ctes: Dict[str, _CTEInfo]
+    ) -> Operator:
+        # ---- classify conditions by source -------------------------------
+        alias_order: List[str] = []
+        source_specs: Dict[str, Tuple[str, object]] = {}
+        for source in core.sources:
+            if isinstance(source, TableSource):
+                alias = source.alias
+                spec = ("table", source)
+            else:
+                alias = source.alias
+                spec = ("subquery", source)
+            if alias in source_specs:
+                raise PlanningError(f"duplicate alias {alias!r} in FROM")
+            source_specs[alias] = spec
+            alias_order.append(alias)
+
+        # Pre-plan subqueries so their output columns are known. This must
+        # be a local mapping: planning a subquery recurses into this method.
+        subquery_ops: Dict[str, Operator] = {}
+        for alias, (kind, source) in source_specs.items():
+            if kind == "subquery":
+                subquery_ops[alias] = self._plan_union(
+                    source.statement, ctes  # type: ignore[union-attr]
+                )
+
+        def columns_of(alias: str) -> List[str]:
+            kind, source = source_specs[alias]
+            if kind == "table":
+                name = source.name  # type: ignore[union-attr]
+                if name.lower() in ctes:
+                    return list(ctes[name.lower()].out_columns)
+                return list(self.catalog.table(name).columns)
+            planned = subquery_ops[alias]
+            return [label.split(".")[-1] for label in planned.columns]
+
+        def resolve(ref: ColumnRef) -> Tuple[str, str]:
+            """Resolve a column reference to (alias, column)."""
+            if ref.table is not None:
+                if ref.table not in source_specs:
+                    raise UnknownColumnError(
+                        f"unknown table alias {ref.table!r} for column {ref.column!r}"
+                    )
+                if ref.column not in columns_of(ref.table):
+                    raise UnknownColumnError(
+                        f"no column {ref.column!r} under alias {ref.table!r}"
+                    )
+                return (ref.table, ref.column)
+            owners = [
+                alias for alias in alias_order if ref.column in columns_of(alias)
+            ]
+            if not owners:
+                raise UnknownColumnError(f"unknown column {ref.column!r}")
+            if len(owners) > 1:
+                raise UnknownColumnError(
+                    f"ambiguous column {ref.column!r} (in {owners})"
+                )
+            return (owners[0], ref.column)
+
+        const_filters: Dict[str, List[Tuple[str, object, str]]] = {
+            alias: [] for alias in alias_order
+        }
+        join_edges: List[Tuple[Tuple[str, str], Tuple[str, str], str]] = []
+        same_source: List[Tuple[Tuple[str, str], Tuple[str, str], str]] = []
+
+        for condition in core.conditions:
+            left, right, op = condition.left, condition.right, condition.op
+            left_is_col = isinstance(left, ColumnRef)
+            right_is_col = isinstance(right, ColumnRef)
+            if left_is_col and right_is_col:
+                left_loc, right_loc = resolve(left), resolve(right)
+                if left_loc[0] == right_loc[0]:
+                    same_source.append((left_loc, right_loc, op))
+                else:
+                    join_edges.append((left_loc, right_loc, op))
+            elif left_is_col or right_is_col:
+                column = left if left_is_col else right
+                literal = right if left_is_col else left
+                alias, name = resolve(column)  # type: ignore[arg-type]
+                const_filters[alias].append((name, literal.value, op))  # type: ignore[union-attr]
+            else:
+                if (op == "=" and left.value != right.value) or (  # type: ignore[union-attr]
+                    op == "<>" and left.value == right.value  # type: ignore[union-attr]
+                ):
+                    raise PlanningError(
+                        "statement contains a constant-false predicate"
+                    )
+
+        # ---- build leaf operators with pushed-down filters ----------------
+        leaves: Dict[str, Operator] = {}
+        for alias in alias_order:
+            kind, source = source_specs[alias]
+            filters = const_filters[alias]
+            equality = [(n, v) for n, v, op in filters if op == "="]
+            other = [(n, v, op) for n, v, op in filters if op != "="]
+            if kind == "table":
+                name = source.name  # type: ignore[union-attr]
+                if name.lower() in ctes:
+                    info = ctes[name.lower()]
+                    positions = [
+                        (info.out_columns.index(n), v) for n, v in equality
+                    ]
+                    op_leaf: Operator = CTEScan(
+                        name,
+                        alias,
+                        info.out_columns,
+                        info.materialize,
+                        positions,
+                        self.params,
+                    )
+                else:
+                    table = self.catalog.table(name)
+                    stats = self.catalog.statistics(name)
+                    positions = [
+                        (table.column_position(n), v) for n, v in equality
+                    ]
+                    op_leaf = SeqScan(table, alias, positions, stats, self.params)
+            else:
+                inner = subquery_ops[alias]
+                local = [label.split(".")[-1] for label in inner.columns]
+                relabeled = Project(
+                    inner,
+                    [
+                        (position, None, f"{alias}.{name}")
+                        for position, name in enumerate(local)
+                    ],
+                    self.params,
+                )
+                op_leaf = relabeled
+                if equality:
+                    tests = [(local.index(n), v, "=") for n, v in equality]
+                    op_leaf = ConstFilter(op_leaf, tests)
+            if other:
+                local = columns_of(alias)
+                tests = [(local.index(n), v, op) for n, v, op in other]
+                op_leaf = ConstFilter(op_leaf, tests)
+            # Same-source column equalities apply immediately on the leaf.
+            pairs = []
+            for left_loc, right_loc, op in same_source:
+                if left_loc[0] == alias:
+                    local = columns_of(alias)
+                    pairs.append(
+                        (local.index(left_loc[1]), local.index(right_loc[1]), op)
+                    )
+            if pairs:
+                op_leaf = Filter(op_leaf, pairs)
+            leaves[alias] = op_leaf
+
+        # ---- greedy join ordering ----------------------------------------
+        composite = self._order_joins(leaves, alias_order, join_edges)
+
+        # ---- projection + distinct ----------------------------------------
+        items: List[Tuple[Optional[int], object, str]] = []
+        for expr, out_alias in core.projections:
+            if isinstance(expr, Literal):
+                label = out_alias or "literal"
+                items.append((None, expr.value, label))
+            else:
+                alias, name = resolve(expr)
+                qualified = f"{alias}.{name}"
+                position = composite.columns.index(qualified)
+                items.append((position, None, out_alias or name))
+        projected = Project(composite, items, self.params)
+        if core.distinct:
+            return Distinct(projected, self.params)
+        return projected
+
+    # ------------------------------------------------------------------
+    def _order_joins(
+        self,
+        leaves: Dict[str, Operator],
+        alias_order: List[str],
+        join_edges: List[Tuple[Tuple[str, str], Tuple[str, str], str]],
+    ) -> Operator:
+        remaining: Set[str] = set(alias_order)
+        if len(remaining) == 1:
+            return leaves[alias_order[0]]
+
+        pending = list(join_edges)
+
+        def join_keys(in_composite: Set[str], alias: str):
+            """Equality edges connecting *alias* to the current composite."""
+            keys = []
+            for left_loc, right_loc, op in pending:
+                if op != "=":
+                    continue
+                first, second = left_loc[0], right_loc[0]
+                if first == alias and second in in_composite:
+                    keys.append((right_loc, left_loc))
+                elif second == alias and first in in_composite:
+                    keys.append((left_loc, right_loc))
+            return keys
+
+        # Start with the smallest leaf.
+        start = min(remaining, key=lambda a: leaves[a].est_rows)
+        composite = leaves[start]
+        in_composite = {start}
+        remaining.discard(start)
+
+        while remaining:
+            best_alias = None
+            best_plan = None
+            best_cost = None
+            for alias in sorted(remaining):
+                keys = join_keys(in_composite, alias)
+                if keys:
+                    key_pairs = [
+                        (
+                            composite.columns.index(f"{o[0]}.{o[1]}"),
+                            leaves[alias].columns.index(f"{i[0]}.{i[1]}"),
+                        )
+                        for o, i in keys
+                    ]
+                    candidate: Operator = HashJoin(
+                        composite, leaves[alias], key_pairs, self.params
+                    )
+                else:
+                    candidate = CrossJoin(composite, leaves[alias], self.params)
+                if best_cost is None or candidate.cost < best_cost:
+                    best_cost = candidate.cost
+                    best_plan = candidate
+                    best_alias = alias
+            assert best_alias is not None and best_plan is not None
+            composite = best_plan
+            in_composite.add(best_alias)
+            remaining.discard(best_alias)
+            # Apply residual (non-key) predicates that just became closed.
+            closed = []
+            open_edges = []
+            for left_loc, right_loc, op in pending:
+                if left_loc[0] in in_composite and right_loc[0] in in_composite:
+                    closed.append((left_loc, right_loc, op))
+                else:
+                    open_edges.append((left_loc, right_loc, op))
+            pending = open_edges
+            residual_pairs = []
+            used_as_keys = set()
+            if isinstance(composite, HashJoin):
+                for l, r in composite.key_pairs:
+                    used_as_keys.add(
+                        (composite.left.columns[l], composite.right.columns[r])
+                    )
+            for left_loc, right_loc, op in closed:
+                left_label = f"{left_loc[0]}.{left_loc[1]}"
+                right_label = f"{right_loc[0]}.{right_loc[1]}"
+                if (
+                    (left_label, right_label) in used_as_keys
+                    or (right_label, left_label) in used_as_keys
+                ):
+                    continue
+                residual_pairs.append(
+                    (
+                        composite.columns.index(left_label),
+                        composite.columns.index(right_label),
+                        op,
+                    )
+                )
+            if residual_pairs:
+                composite = Filter(composite, residual_pairs)
+        return composite

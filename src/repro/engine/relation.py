@@ -1,0 +1,100 @@
+"""Tables and hash indexes for the MiniRDBMS storage layer."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.errors import UnknownColumnError
+
+Row = Tuple
+Value = object
+
+
+class Index:
+    """A hash index over one or more columns of a table."""
+
+    def __init__(self, table: "Table", columns: Sequence[str]) -> None:
+        for column in columns:
+            if column not in table.columns:
+                raise UnknownColumnError(
+                    f"no column {column!r} in table {table.name!r}"
+                )
+        self.table = table
+        self.columns = tuple(columns)
+        self._positions = tuple(table.columns.index(c) for c in columns)
+        self._buckets: Dict[Tuple, List[Row]] = {}
+        for row in table.rows:
+            self._insert(row)
+
+    def _key(self, row: Row) -> Tuple:
+        return tuple(row[p] for p in self._positions)
+
+    def _insert(self, row: Row) -> None:
+        self._buckets.setdefault(self._key(row), []).append(row)
+
+    def lookup(self, key: Tuple) -> List[Row]:
+        """Rows whose indexed columns equal *key*."""
+        return self._buckets.get(tuple(key), [])
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class Table:
+    """An in-memory relation: named columns and a list of rows."""
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError(f"table {name!r} needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in table {name!r}")
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.rows: List[Row] = []
+        self.indexes: Dict[Tuple[str, ...], Index] = {}
+        self._row_set: Set[Row] = set()
+
+    def insert(self, row: Sequence[Value]) -> None:
+        """Insert one row (set semantics: duplicates are ignored)."""
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"({len(self.columns)} columns)"
+            )
+        if row in self._row_set:
+            return
+        self._row_set.add(row)
+        self.rows.append(row)
+        for index in self.indexes.values():
+            index._insert(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Bulk insert."""
+        for row in rows:
+            self.insert(row)
+
+    def create_index(self, columns: Sequence[str]) -> Index:
+        """Create (or return the existing) hash index on *columns*."""
+        key = tuple(columns)
+        if key not in self.indexes:
+            self.indexes[key] = Index(self, columns)
+        return self.indexes[key]
+
+    def index_on(self, columns: Sequence[str]) -> Optional[Index]:
+        """The index exactly matching *columns*, if any."""
+        return self.indexes.get(tuple(columns))
+
+    def column_position(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError as missing:
+            raise UnknownColumnError(
+                f"no column {column!r} in table {self.name!r}"
+            ) from missing
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self.rows)} rows)"

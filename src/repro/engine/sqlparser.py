@@ -1,0 +1,356 @@
+"""Tokenizer, AST and recursive-descent parser for the MiniRDBMS SQL subset.
+
+Grammar (the dialect emitted by :mod:`repro.sql.translator`)::
+
+    statement    := [WITH cte (',' cte)*] select_union
+    cte          := IDENT AS '(' select_union ')'
+    select_union := select_core ((UNION [ALL]) select_core)*
+    select_core  := SELECT [DISTINCT] proj (',' proj)*
+                    FROM source (',' source)*
+                    (JOIN source ON cond (AND cond)*)*
+                    [WHERE cond (AND cond)*]
+    proj         := expr [AS IDENT]
+    source       := IDENT [IDENT] | '(' select_union ')' IDENT
+    cond         := expr ('=' | '<>') expr
+    expr         := IDENT ['.' IDENT] | NUMBER | STRING
+
+Identifiers are case-preserving but keywords are case-insensitive. Strings
+use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.engine.errors import SQLSyntaxError
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``table.column`` or a bare ``column`` reference."""
+
+    table: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An integer or string literal."""
+
+    value: Union[int, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+Expr = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``left op right`` with op in {=, <>}."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class TableSource:
+    """A named table (or CTE) with an optional alias."""
+
+    name: str
+    alias: str
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias != self.name else self.name
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    """A parenthesized subquery with a mandatory alias."""
+
+    statement: "SelectUnion"
+    alias: str
+
+
+Source = Union[TableSource, SubquerySource]
+
+
+@dataclass(frozen=True)
+class SelectCore:
+    """One SELECT block."""
+
+    distinct: bool
+    projections: Tuple[Tuple[Expr, Optional[str]], ...]
+    sources: Tuple[Source, ...]
+    conditions: Tuple[Condition, ...]
+
+
+@dataclass(frozen=True)
+class SelectUnion:
+    """One or more SELECT blocks combined with UNION [ALL]."""
+
+    selects: Tuple[SelectCore, ...]
+    all: bool = False
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Top level: optional CTEs plus the body union."""
+
+    ctes: Tuple[Tuple[str, SelectUnion], ...]
+    body: SelectUnion
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9$]*)
+  | (?P<neq><>)
+  | (?P<symbol>[(),.=*])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "union",
+    "all",
+    "with",
+    "as",
+    "join",
+    "on",
+}
+
+
+@dataclass
+class Token:
+    kind: str  # 'ident', 'keyword', 'number', 'string', 'symbol'
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split *sql* into tokens, raising on unexpected characters."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {sql[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "ident":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, match.start()))
+            else:
+                tokens.append(Token("ident", value, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", value, match.start()))
+        else:
+            tokens.append(Token("symbol", value, match.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], sql: str) -> None:
+        self.tokens = tokens
+        self.sql = sql
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of statement")
+        self.index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token and token.kind == "keyword" and token.value == word:
+            self.index += 1
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            token = self.peek()
+            where = f"near {token.value!r}" if token else "at end of input"
+            raise SQLSyntaxError(f"expected {word.upper()} {where}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        if token and token.kind == "symbol" and token.value == symbol:
+            self.index += 1
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            token = self.peek()
+            where = f"near {token.value!r}" if token else "at end of input"
+            raise SQLSyntaxError(f"expected {symbol!r} {where}")
+
+    def expect_ident(self) -> str:
+        token = self.advance()
+        if token.kind != "ident":
+            raise SQLSyntaxError(f"expected identifier, got {token.value!r}")
+        return token.value
+
+    # -- grammar ----------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        ctes: List[Tuple[str, SelectUnion]] = []
+        if self.accept_keyword("with"):
+            while True:
+                name = self.expect_ident()
+                self.expect_keyword("as")
+                self.expect_symbol("(")
+                ctes.append((name, self.parse_select_union()))
+                self.expect_symbol(")")
+                if not self.accept_symbol(","):
+                    break
+        body = self.parse_select_union()
+        if self.peek() is not None:
+            token = self.peek()
+            raise SQLSyntaxError(f"trailing input near {token.value!r}")
+        return Statement(tuple(ctes), body)
+
+    def parse_select_union(self) -> SelectUnion:
+        selects = [self.parse_select_core()]
+        union_all: Optional[bool] = None
+        while self.accept_keyword("union"):
+            this_all = self.accept_keyword("all")
+            if union_all is None:
+                union_all = this_all
+            elif union_all != this_all:
+                raise SQLSyntaxError("mixing UNION and UNION ALL is unsupported")
+            selects.append(self.parse_select_core())
+        return SelectUnion(tuple(selects), all=bool(union_all))
+
+    def parse_select_core(self) -> SelectCore:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        projections: List[Tuple[Expr, Optional[str]]] = []
+        while True:
+            expr = self.parse_expr()
+            alias = None
+            if self.accept_keyword("as"):
+                alias = self.expect_ident()
+            projections.append((expr, alias))
+            if not self.accept_symbol(","):
+                break
+        self.expect_keyword("from")
+        sources: List[Source] = [self.parse_source()]
+        conditions: List[Condition] = []
+        while True:
+            if self.accept_symbol(","):
+                sources.append(self.parse_source())
+            elif self.accept_keyword("join"):
+                sources.append(self.parse_source())
+                self.expect_keyword("on")
+                conditions.append(self.parse_condition())
+                while self.accept_keyword("and"):
+                    conditions.append(self.parse_condition())
+            else:
+                break
+        if self.accept_keyword("where"):
+            conditions.append(self.parse_condition())
+            while self.accept_keyword("and"):
+                conditions.append(self.parse_condition())
+        return SelectCore(
+            distinct=distinct,
+            projections=tuple(projections),
+            sources=tuple(sources),
+            conditions=tuple(conditions),
+        )
+
+    def parse_source(self) -> Source:
+        if self.accept_symbol("("):
+            statement = self.parse_select_union()
+            self.expect_symbol(")")
+            token = self.peek()
+            if token is None or token.kind != "ident":
+                raise SQLSyntaxError("subquery in FROM requires an alias")
+            alias = self.expect_ident()
+            return SubquerySource(statement, alias)
+        name = self.expect_ident()
+        token = self.peek()
+        alias = name
+        if token is not None and token.kind == "ident":
+            alias = self.expect_ident()
+        return TableSource(name, alias)
+
+    def parse_condition(self) -> Condition:
+        left = self.parse_expr()
+        token = self.advance()
+        if token.kind == "symbol" and token.value == "=":
+            op = "="
+        elif token.kind == "neq" or token.value == "<>":
+            op = "<>"
+        else:
+            raise SQLSyntaxError(f"expected comparison operator, got {token.value!r}")
+        right = self.parse_expr()
+        return Condition(left, op, right)
+
+    def parse_expr(self) -> Expr:
+        token = self.advance()
+        if token.kind == "number":
+            return Literal(int(token.value))
+        if token.kind == "string":
+            raw = token.value[1:-1].replace("''", "'")
+            return Literal(raw)
+        if token.kind == "ident":
+            if self.accept_symbol("."):
+                column = self.expect_ident()
+                return ColumnRef(token.value, column)
+            return ColumnRef(None, token.value)
+        raise SQLSyntaxError(f"expected expression, got {token.value!r}")
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse *sql* into a :class:`Statement` AST."""
+    return _Parser(tokenize(sql), sql).parse_statement()

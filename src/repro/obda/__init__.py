@@ -1,0 +1,11 @@
+"""End-to-end OBDA query answering (the system of Figure 1).
+
+:class:`~repro.obda.system.OBDASystem` wires everything together: a
+DL-LiteR KB, a storage layout loaded into a backend, reformulation
+strategies (plain UCQ, root-cover JUCQ, EDL, GDL with either cost
+estimator), SQL translation and answer decoding.
+"""
+
+from repro.obda.system import AnswerReport, OBDASystem, ReformulationChoice
+
+__all__ = ["AnswerReport", "OBDASystem", "ReformulationChoice"]

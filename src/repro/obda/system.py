@@ -1,0 +1,241 @@
+"""The OBDA facade: load a KB once, answer queries many ways.
+
+The pipeline per query (Figure 1 of the paper):
+
+1. choose a *strategy* — how to pick the FOL reformulation:
+   ``"ucq"`` (the classical single UCQ), ``"croot"`` (the fixed root-cover
+   JUCQ), ``"gdl"`` / ``"edl"`` (cost-driven search over Lq ∪ Gq);
+2. choose a *cost estimator* for the search — ``"ext"`` (the external
+   model) or ``"rdbms"`` (the backend's EXPLAIN);
+3. translate the chosen reformulation to SQL over the loaded layout;
+4. evaluate on the backend; decode the dictionary-encoded answers.
+
+Every step is timed; :class:`AnswerReport` carries the numbers the
+benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple, Union
+
+from repro.covers.reformulate import (
+    cover_based_reformulation,
+    cover_based_uscq_reformulation,
+)
+from repro.covers.safety import root_cover, single_fragment_cover
+from repro.cost.estimators import (
+    CoverCostEstimator,
+    ExternalCoverCost,
+    RDBMSCoverCost,
+)
+from repro.cost.model import ExternalCostModel
+from repro.cost.statistics import DataStatistics
+from repro.dllite.abox import ABox
+from repro.dllite.kb import KnowledgeBase
+from repro.dllite.parser import parse_abox, parse_query, parse_tbox
+from repro.dllite.tbox import TBox
+from repro.optimizer.edl import edl_search
+from repro.optimizer.gdl import gdl_search
+from repro.optimizer.result import SearchResult
+from repro.queries.cq import CQ
+from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.sql.translator import SQLTranslator
+from repro.storage.layouts import RDFLayout, SimpleLayout
+from repro.storage.memory_backend import MemoryBackend
+from repro.storage.sqlite_backend import SQLiteBackend
+
+STRATEGIES = ("ucq", "croot", "gdl", "edl")
+COST_MODES = ("ext", "rdbms")
+
+
+@dataclass
+class ReformulationChoice:
+    """The reformulation a strategy picked for a query."""
+
+    strategy: str
+    reformulation: object
+    sql: str
+    search: Optional[SearchResult] = None
+    reformulation_seconds: float = 0.0
+
+
+@dataclass
+class AnswerReport:
+    """Answers plus per-stage timings."""
+
+    query: CQ
+    choice: ReformulationChoice
+    answers: Set[Tuple]
+    execution_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.choice.reformulation_seconds + self.execution_seconds
+
+
+class OBDASystem:
+    """A loaded OBDA instance: KB + layout + backend + estimators."""
+
+    def __init__(
+        self,
+        tbox: TBox,
+        abox: ABox,
+        backend: Union[str, object] = "memory",
+        layout: Union[str, object] = "simple",
+        rdf_width: int = 8,
+        check_consistency: bool = False,
+    ) -> None:
+        self.kb = KnowledgeBase(tbox, abox)
+        if check_consistency:
+            self.kb.check_consistency()
+
+        if isinstance(layout, str):
+            if layout == "simple":
+                self.layout = SimpleLayout()
+            elif layout == "rdf":
+                self.layout = RDFLayout(width=rdf_width)
+            else:
+                raise ValueError(f"unknown layout {layout!r}")
+        else:
+            self.layout = layout
+
+        if isinstance(backend, str):
+            if backend == "memory":
+                self.backend = MemoryBackend()
+            elif backend == "sqlite":
+                self.backend = SQLiteBackend()
+            else:
+                raise ValueError(f"unknown backend {backend!r}")
+        else:
+            self.backend = backend
+
+        self.backend.load(self.layout.build(abox, tbox))
+        self.translator = SQLTranslator(self.layout)
+        self.statistics = DataStatistics.from_abox(abox)
+        self.cost_model = ExternalCostModel(self.statistics)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(
+        cls, tbox_text: str, abox_text: str, **kwargs
+    ) -> "OBDASystem":
+        """Build a system from the textual KB syntax."""
+        return cls(parse_tbox(tbox_text), parse_abox(abox_text), **kwargs)
+
+    # ------------------------------------------------------------------
+    def _estimator(
+        self, cost: str, minimize: bool, use_uscq: bool
+    ) -> CoverCostEstimator:
+        if cost == "ext":
+            return ExternalCoverCost(
+                self.kb.tbox, self.cost_model, minimize=minimize, use_uscq=use_uscq
+            )
+        if cost == "rdbms":
+            return RDBMSCoverCost(
+                self.kb.tbox,
+                self.backend,
+                self.translator,
+                minimize=minimize,
+                use_uscq=use_uscq,
+            )
+        raise ValueError(f"unknown cost mode {cost!r}; expected one of {COST_MODES}")
+
+    def reformulate(
+        self,
+        query: Union[str, CQ],
+        strategy: str = "gdl",
+        cost: str = "ext",
+        minimize: bool = True,
+        use_uscq: bool = False,
+        time_budget_seconds: Optional[float] = None,
+        generalized_limit: Optional[int] = 20_000,
+    ) -> ReformulationChoice:
+        """Pick a FOL reformulation for *query* and translate it to SQL."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        started = time.perf_counter()
+        search: Optional[SearchResult] = None
+
+        if strategy == "ucq":
+            reformulation = reformulate_to_ucq(query, self.kb.tbox, minimize=minimize)
+        elif strategy == "croot":
+            cover = root_cover(query, self.kb.tbox)
+            builder = (
+                cover_based_uscq_reformulation if use_uscq else cover_based_reformulation
+            )
+            reformulation = builder(cover, self.kb.tbox, minimize=minimize)
+        elif strategy in ("gdl", "edl"):
+            estimator = self._estimator(cost, minimize, use_uscq)
+            if strategy == "gdl":
+                search = gdl_search(
+                    query,
+                    self.kb.tbox,
+                    estimator,
+                    time_budget_seconds=time_budget_seconds,
+                )
+            else:
+                search = edl_search(
+                    query,
+                    self.kb.tbox,
+                    estimator,
+                    generalized_limit=generalized_limit,
+                )
+            reformulation = estimator.reformulate(search.cover)
+        else:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+
+        sql = self.translator.translate(reformulation)
+        elapsed = time.perf_counter() - started
+        return ReformulationChoice(
+            strategy=strategy,
+            reformulation=reformulation,
+            sql=sql,
+            search=search,
+            reformulation_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        query: Union[str, CQ],
+        strategy: str = "gdl",
+        cost: str = "ext",
+        minimize: bool = True,
+        use_uscq: bool = False,
+        time_budget_seconds: Optional[float] = None,
+    ) -> AnswerReport:
+        """Answer *query*: reformulate, translate, evaluate, decode."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        choice = self.reformulate(
+            query,
+            strategy=strategy,
+            cost=cost,
+            minimize=minimize,
+            use_uscq=use_uscq,
+            time_budget_seconds=time_budget_seconds,
+        )
+        started = time.perf_counter()
+        rows = self.backend.execute(choice.sql)
+        execution = time.perf_counter() - started
+        answers = self._decode(query, rows)
+        return AnswerReport(
+            query=query,
+            choice=choice,
+            answers=answers,
+            execution_seconds=execution,
+        )
+
+    def execute_choice(self, query: CQ, choice: ReformulationChoice) -> Set[Tuple]:
+        """Evaluate an already-made reformulation choice (bench harness)."""
+        rows = self.backend.execute(choice.sql)
+        return self._decode(query, rows)
+
+    def _decode(self, query: CQ, rows: List[Tuple]) -> Set[Tuple]:
+        if not query.head:
+            return {()} if rows else set()
+        return {self.layout.dictionary.decode_row(row) for row in rows}

@@ -1,0 +1,14 @@
+"""Cost-based cover search: EDL (exhaustive) and GDL (greedy, Algorithm 1).
+
+Both algorithms search the safe-cover lattice Lq and the generalized space
+Gq for the cover whose reformulation has the lowest estimated evaluation
+cost (Problem 1 of the paper). EDL enumerates — impractical beyond very
+small queries (Table 6); GDL walks greedily from the root cover via
+*union* and *enlarge* moves, optionally under a time budget (§6.4).
+"""
+
+from repro.optimizer.result import SearchResult
+from repro.optimizer.edl import edl_search
+from repro.optimizer.gdl import gdl_search
+
+__all__ = ["SearchResult", "edl_search", "gdl_search"]

@@ -1,0 +1,143 @@
+"""GDL — Greedy Covers for DL (Algorithm 1 of the paper).
+
+Starting from the root cover, GDL repeatedly evaluates the *moves*
+available from the current cover:
+
+* **union** two fragments — merging ``f1||g1`` and ``f2||g2`` into
+  ``(f1 ∪ f2)||(g1 ∪ g2)`` (the g-parts stay a union of root fragments,
+  hence safe);
+* **enlarge** a fragment ``f||g`` with one atom ``a`` join-connected to
+  ``f`` — adding a semijoin reducer (Section 5.2).
+
+The cheapest move is applied when it does not degrade the current cost
+(line 3's ``<=`` admits sideways moves once, guarded here against cycles by
+a visited set); the search stops when no move helps or the optional *time
+budget* runs out — §6.4's time-limited GDL, which the paper finds nearly as
+good as the full run because interesting covers are found early.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.covers.cover import Cover, GeneralizedCover, GeneralizedFragment
+from repro.covers.safety import root_cover
+from repro.cost.estimators import CoverCostEstimator
+from repro.dllite.tbox import TBox
+from repro.optimizer.result import SearchResult
+from repro.queries.cq import CQ
+
+
+def _union_moves(cover: GeneralizedCover) -> Iterator[GeneralizedCover]:
+    """All covers obtained by unioning two fragments of *cover*."""
+    fragments = cover.fragments
+    for i in range(len(fragments)):
+        for j in range(i + 1, len(fragments)):
+            first, second = fragments[i], fragments[j]
+            merged = GeneralizedFragment(
+                first.f | second.f, first.g | second.g
+            )
+            remaining = [
+                gf for k, gf in enumerate(fragments) if k not in (i, j)
+            ]
+            try:
+                yield GeneralizedCover(cover.query, tuple(remaining) + (merged,))
+            except ValueError:
+                continue  # inclusion among fragments: not a valid cover
+
+
+def _enlarge_moves(cover: GeneralizedCover) -> Iterator[GeneralizedCover]:
+    """All covers obtained by adding one connected reducer atom."""
+    query = cover.query
+    variable_map = query.atoms_sharing_variable()
+    adjacency = {i: set() for i in range(len(query.atoms))}
+    for positions in variable_map.values():
+        for i in positions:
+            for j in positions:
+                if i != j:
+                    adjacency[i].add(j)
+    for fragment in cover.fragments:
+        frontier: Set[int] = set()
+        for index in fragment.f:
+            frontier |= adjacency[index]
+        for atom_index in sorted(frontier - fragment.f):
+            try:
+                yield cover.enlarge(fragment, atom_index)
+            except ValueError:
+                continue
+
+
+def gdl_search(
+    query: CQ,
+    tbox: TBox,
+    estimator: CoverCostEstimator,
+    time_budget_seconds: Optional[float] = None,
+    max_steps: int = 1_000,
+    enable_generalized: bool = True,
+) -> SearchResult:
+    """Greedy cover search (Algorithm 1), optionally time-limited.
+
+    ``enable_generalized=False`` restricts the search to *union* moves
+    (the safe-cover lattice Lq only) — the ablation quantifying what the
+    semijoin-reducer space Gq buys (§6.3 reports GDL picks a generalized
+    cover always under the external model).
+    """
+    start = time.perf_counter()
+
+    def out_of_time() -> bool:
+        return (
+            time_budget_seconds is not None
+            and time.perf_counter() - start > time_budget_seconds
+        )
+
+    current = GeneralizedCover.from_cover(root_cover(query, tbox))
+    current_cost = estimator.estimate(current)
+    visited: Set[Tuple] = {current.key()}
+    safe_explored = 1
+    generalized_explored = 0
+    hit_budget = False
+
+    for _step in range(max_steps):
+        move: Optional[GeneralizedCover] = None
+        move_cost: Optional[float] = None
+        move_is_generalized = False
+        move_kinds = [("union", _union_moves(current))]
+        if enable_generalized:
+            move_kinds.append(("enlarge", _enlarge_moves(current)))
+        for kind, candidates in move_kinds:
+            for candidate in candidates:
+                if out_of_time():
+                    hit_budget = True
+                    break
+                key = candidate.key()
+                if key in visited:
+                    continue
+                visited.add(key)
+                if candidate.is_plain():
+                    safe_explored += 1
+                else:
+                    generalized_explored += 1
+                cost = estimator.estimate(candidate)
+                accept_first = move is None and cost <= current_cost
+                beats_move = move is not None and cost < move_cost  # type: ignore[operator]
+                if accept_first or beats_move:
+                    move, move_cost = candidate, cost
+                    move_is_generalized = not candidate.is_plain()
+            if hit_budget:
+                break
+        if move is None or hit_budget and move is None:
+            break
+        current, current_cost = move, move_cost  # type: ignore[assignment]
+        if hit_budget:
+            break
+
+    return SearchResult(
+        cover=current,
+        cost=current_cost,
+        safe_covers_explored=safe_explored,
+        generalized_covers_explored=generalized_explored,
+        cost_estimations=estimator.calls,
+        elapsed_seconds=time.perf_counter() - start,
+        hit_time_budget=hit_budget,
+    )

@@ -1,0 +1,66 @@
+"""FOL query dialects used by the reformulation framework.
+
+This package implements the query dialects of Table 4 in the paper:
+
+========  ====================================================================
+Dialect   Shape
+========  ====================================================================
+CQ        conjunctive query ``q(x) <- a1 AND ... AND an``
+SCQ       semi-conjunctive query: join of unions of single-atom CQs
+UCQ       union of CQs
+USCQ      union of SCQs
+JUCQ      join of UCQs
+JUSCQ     join of USCQs
+========  ====================================================================
+
+plus the supporting machinery: terms, atoms, substitutions, most general
+unifiers, homomorphism-based containment and minimization.
+"""
+
+from repro.queries.terms import (
+    Constant,
+    Term,
+    Variable,
+    fresh_variable,
+    is_constant,
+    is_variable,
+)
+from repro.queries.atoms import Atom, concept_atom, role_atom
+from repro.queries.substitution import Substitution
+from repro.queries.cq import CQ
+from repro.queries.ucq import UCQ
+from repro.queries.scq import SCQ, USCQ, AtomUnion
+from repro.queries.jucq import JUCQ, JUSCQ
+from repro.queries.unification import most_general_unifier
+from repro.queries.homomorphism import (
+    find_homomorphism,
+    is_contained_in,
+    are_equivalent,
+)
+from repro.queries.minimize import minimize_cq, minimize_ucq
+
+__all__ = [
+    "Atom",
+    "AtomUnion",
+    "CQ",
+    "Constant",
+    "JUCQ",
+    "JUSCQ",
+    "SCQ",
+    "Substitution",
+    "Term",
+    "UCQ",
+    "USCQ",
+    "Variable",
+    "are_equivalent",
+    "concept_atom",
+    "find_homomorphism",
+    "fresh_variable",
+    "is_constant",
+    "is_contained_in",
+    "is_variable",
+    "minimize_cq",
+    "minimize_ucq",
+    "most_general_unifier",
+    "role_atom",
+]

@@ -1,0 +1,67 @@
+"""Query atoms: unary (concept) and binary (role) predicates over terms.
+
+DL-LiteR queries only ever contain two shapes of atoms:
+
+* ``A(t)`` — a *concept atom*, where ``A`` is a concept name, and
+* ``R(t, t')`` — a *role atom*, where ``R`` is a role name.
+
+Both are represented by :class:`Atom`, which stores the predicate name and
+the argument tuple. Arity is derived from the arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.queries.terms import Term, Variable, is_variable
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """An atom ``predicate(args...)`` with arity 1 or 2."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) not in (1, 2):
+            raise ValueError(
+                f"atoms must be unary or binary, got arity {len(self.args)} "
+                f"for predicate {self.predicate!r}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments (1 for concept atoms, 2 for role atoms)."""
+        return len(self.args)
+
+    @property
+    def is_concept_atom(self) -> bool:
+        """True for unary atoms ``A(t)``."""
+        return self.arity == 1
+
+    @property
+    def is_role_atom(self) -> bool:
+        """True for binary atoms ``R(t, t')``."""
+        return self.arity == 2
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables among the arguments, in position order."""
+        for term in self.args:
+            if is_variable(term):
+                yield term
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(term) for term in self.args)
+        return f"{self.predicate}({rendered})"
+
+
+def concept_atom(concept_name: str, term: Term) -> Atom:
+    """Build the unary atom ``concept_name(term)``."""
+    return Atom(concept_name, (term,))
+
+
+def role_atom(role_name: str, subject: Term, obj: Term) -> Atom:
+    """Build the binary atom ``role_name(subject, obj)``."""
+    return Atom(role_name, (subject, obj))

@@ -1,0 +1,228 @@
+"""Conjunctive queries (CQs), the base dialect of the framework.
+
+A CQ is ``q(x1, ..., xk) <- a1 AND ... AND an`` where the head terms are the
+*distinguished* (free) variables and the body is a conjunction of atoms.
+Body variables not in the head are existentially quantified.
+
+The class is immutable; reformulation operates by producing new CQs. Two
+notions of identity matter here:
+
+* **structural equality** (``==``): same head, same atom tuple;
+* **equality modulo variable renaming**: captured by :meth:`CQ.canonical_key`,
+  a deterministic normal form used to deduplicate the thousands of CQs that
+  the PerfectRef fixpoint generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.queries.atoms import Atom
+from repro.queries.substitution import Substitution
+from repro.queries.terms import Constant, Term, Variable, is_variable
+
+
+@dataclass(frozen=True)
+class CQ:
+    """A conjunctive query with head ``head`` and body ``atoms``."""
+
+    head: Tuple[Term, ...]
+    atoms: Tuple[Atom, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a CQ must have at least one body atom")
+        body_vars = self.variables()
+        for term in self.head:
+            if is_variable(term) and term not in body_vars:
+                raise ValueError(
+                    f"head variable {term} does not appear in the body of {self.name}"
+                )
+
+    # ------------------------------------------------------------------
+    # Variable structure
+    # ------------------------------------------------------------------
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables appearing in the body."""
+        return frozenset(v for atom in self.atoms for v in atom.variables())
+
+    def head_variables(self) -> FrozenSet[Variable]:
+        """Variables appearing in the head (the distinguished variables)."""
+        return frozenset(t for t in self.head if is_variable(t))
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Body variables not exported by the head."""
+        return self.variables() - self.head_variables()
+
+    def occurrence_counts(self) -> Dict[Variable, int]:
+        """Number of occurrences of each variable across body atom positions."""
+        counts: Dict[Variable, int] = {}
+        for atom in self.atoms:
+            for term in atom.args:
+                if is_variable(term):
+                    counts[term] = counts.get(term, 0) + 1
+        return counts
+
+    def unbound_variables(self) -> FrozenSet[Variable]:
+        """Variables playing the role of ``_`` in PerfectRef.
+
+        A variable is *unbound* when it occurs exactly once in the body and
+        is not distinguished; such a variable carries no join or output
+        obligation, which is what makes certain backward constraint
+        applications legal.
+        """
+        head_vars = self.head_variables()
+        return frozenset(
+            var
+            for var, count in self.occurrence_counts().items()
+            if count == 1 and var not in head_vars
+        )
+
+    # ------------------------------------------------------------------
+    # Graph structure
+    # ------------------------------------------------------------------
+    def atoms_sharing_variable(self) -> Dict[Variable, List[int]]:
+        """Map each variable to the indexes of the atoms it appears in."""
+        index: Dict[Variable, List[int]] = {}
+        for position, atom in enumerate(self.atoms):
+            for var in set(atom.variables()):
+                index.setdefault(var, []).append(position)
+        return index
+
+    def is_connected(self) -> bool:
+        """True when the body atoms form one join-connected component."""
+        return len(self.connected_components()) <= 1
+
+    def connected_components(self) -> List[FrozenSet[int]]:
+        """Partition atom indexes into join-connected components."""
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(self.atoms))}
+        for positions in self.atoms_sharing_variable().values():
+            for i in positions:
+                for j in positions:
+                    if i != j:
+                        adjacency[i].add(j)
+        seen: Set[int] = set()
+        components: List[FrozenSet[int]] = []
+        for start in range(len(self.atoms)):
+            if start in seen:
+                continue
+            stack = [start]
+            component: Set[int] = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(adjacency[node] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def apply(self, substitution: Substitution) -> "CQ":
+        """Apply *substitution* to head and body, returning a new CQ."""
+        return CQ(
+            head=tuple(substitution.apply_term(t) for t in self.head),
+            atoms=substitution.apply_atoms(self.atoms),
+            name=self.name,
+        )
+
+    def with_atoms(self, atoms: Sequence[Atom]) -> "CQ":
+        """Return a copy of this CQ with a replaced body."""
+        return CQ(head=self.head, atoms=tuple(atoms), name=self.name)
+
+    def dedup_atoms(self) -> "CQ":
+        """Remove syntactically duplicate atoms, preserving first occurrence."""
+        seen: Set[Atom] = set()
+        kept: List[Atom] = []
+        for atom in self.atoms:
+            if atom not in seen:
+                seen.add(atom)
+                kept.append(atom)
+        if len(kept) == len(self.atoms):
+            return self
+        return self.with_atoms(kept)
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> Tuple[Tuple[Term, ...], Tuple[Atom, ...]]:
+        """A deterministic normal form for equality modulo variable renaming.
+
+        Head variables are renamed positionally first; remaining variables
+        are renamed greedily while atoms are emitted in lexicographically
+        minimal order. Two CQs with equal keys are isomorphic. (For highly
+        symmetric bodies two isomorphic CQs could in principle receive
+        different keys; this only causes a harmless duplicate during
+        deduplication, never an incorrect merge.)
+        """
+        renaming: Dict[Variable, Variable] = {}
+        for position, term in enumerate(self.head):
+            if is_variable(term) and term not in renaming:
+                renaming[term] = Variable(f"_h{len(renaming)}")
+        fresh_index = 0
+
+        def rank(term: Term) -> Tuple:
+            if isinstance(term, Constant):
+                return (0, str(term.value))
+            if term in renaming:
+                return (1, renaming[term].name)
+            return (2, "")
+
+        remaining = list(self.atoms)
+        ordered: List[Atom] = []
+        while remaining:
+            best_position = min(
+                range(len(remaining)),
+                key=lambda i: (
+                    remaining[i].predicate,
+                    remaining[i].arity,
+                    tuple(rank(t) for t in remaining[i].args),
+                ),
+            )
+            atom = remaining.pop(best_position)
+            for term in atom.args:
+                if is_variable(term) and term not in renaming:
+                    renaming[term] = Variable(f"_b{fresh_index}")
+                    fresh_index += 1
+            ordered.append(atom)
+
+        substitution = Substitution(renaming)
+        canonical_head = tuple(substitution.apply_term(t) for t in self.head)
+        canonical_atoms = tuple(sorted(substitution.apply_atoms(ordered)))
+        return (canonical_head, canonical_atoms)
+
+    def rename_apart(self, taken: Iterable[Variable]) -> "CQ":
+        """Rename body variables so none collides with *taken*.
+
+        Head variables are preserved (callers must ensure the head does not
+        collide); only existential variables are renamed.
+        """
+        taken_set = set(taken)
+        mapping: Dict[Variable, Variable] = {}
+        for var in sorted(self.existential_variables()):
+            if var in taken_set:
+                from repro.queries.terms import fresh_variable
+
+                replacement = fresh_variable("_r")
+                while replacement in taken_set:
+                    replacement = fresh_variable("_r")
+                mapping[var] = replacement
+                taken_set.add(replacement)
+        if not mapping:
+            return self
+        return self.apply(Substitution(mapping))
+
+    def __str__(self) -> str:
+        head_render = ", ".join(str(t) for t in self.head)
+        body_render = " AND ".join(str(a) for a in self.atoms)
+        return f"{self.name}({head_render}) <- {body_render}"
+
+
+def make_cq(name: str, head: Sequence[Term], atoms: Sequence[Atom]) -> CQ:
+    """Convenience constructor accepting any sequences."""
+    return CQ(head=tuple(head), atoms=tuple(atoms), name=name)

@@ -1,0 +1,200 @@
+"""A naive, trusted in-memory evaluator for every query dialect.
+
+This evaluator is *not* the RDBMS substrate of the reproduction — it is the
+reference oracle the test-suite uses to validate reformulations, SQL
+translation and both database backends. It evaluates queries over a plain
+fact store ``{predicate: set of tuples}`` with set semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.queries.atoms import Atom
+from repro.queries.cq import CQ
+from repro.queries.jucq import JUCQ, JUSCQ, component_head
+from repro.queries.scq import SCQ, USCQ
+from repro.queries.terms import Term, Variable, is_variable
+from repro.queries.ucq import UCQ
+
+FactStore = Mapping[str, Set[Tuple]]
+Row = Tuple
+Binding = Dict[Variable, object]
+
+
+def evaluate_cq(query: CQ, facts: FactStore) -> Set[Row]:
+    """All answers of *query* over *facts* (set semantics)."""
+    answers: Set[Row] = set()
+    for binding in _match_atoms(list(query.atoms), {}, facts):
+        row = tuple(_value(term, binding) for term in query.head)
+        answers.add(row)
+    return answers
+
+
+def _value(term: Term, binding: Binding):
+    if is_variable(term):
+        return binding[term]
+    return term.value
+
+
+def _match_atoms(
+    atoms: List[Atom],
+    binding: Binding,
+    facts: FactStore,
+) -> Iterable[Binding]:
+    if not atoms:
+        yield binding
+        return
+    # Most-bound atom first keeps the search narrow.
+    def boundness(atom: Atom) -> int:
+        return sum(
+            1
+            for t in atom.args
+            if not is_variable(t) or t in binding
+        )
+
+    pick = max(range(len(atoms)), key=lambda i: boundness(atoms[i]))
+    atom = atoms[pick]
+    rest = atoms[:pick] + atoms[pick + 1 :]
+    for row in facts.get(atom.predicate, ()):  # type: ignore[arg-type]
+        if len(row) != atom.arity:
+            continue
+        extended = _try_extend(atom, row, binding)
+        if extended is not None:
+            yield from _match_atoms(rest, extended, facts)
+
+
+def _try_extend(atom: Atom, row: Row, binding: Binding) -> Optional[Binding]:
+    extended = dict(binding)
+    for term, value in zip(atom.args, row):
+        if is_variable(term):
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term.value != value:
+            return None
+    return extended
+
+
+def evaluate_ucq(query: UCQ, facts: FactStore) -> Set[Row]:
+    """Union of the disjuncts' answers."""
+    answers: Set[Row] = set()
+    for disjunct in query.disjuncts:
+        answers |= evaluate_cq(disjunct, facts)
+    return answers
+
+
+def _evaluate_components(
+    head: Tuple[Term, ...],
+    components,
+    component_answers: List[Set[Row]],
+) -> Set[Row]:
+    """Natural-join component answer sets on shared head variable names."""
+    heads = [component_head(c) for c in components]
+    # Seed: bindings from the first component.
+    bindings: List[Binding] = []
+    for row in component_answers[0]:
+        binding = _row_to_binding(heads[0], row)
+        if binding is not None:
+            bindings.append(binding)
+    for head_terms, answers in zip(heads[1:], component_answers[1:]):
+        joined: List[Binding] = []
+        for binding in bindings:
+            for row in answers:
+                merged = _merge_binding(binding, head_terms, row)
+                if merged is not None:
+                    joined.append(merged)
+        bindings = joined
+        if not bindings:
+            break
+    results: Set[Row] = set()
+    for binding in bindings:
+        try:
+            results.add(tuple(_value(term, binding) for term in head))
+        except KeyError as missing:
+            raise ValueError(
+                f"projection variable {missing} not exported by any component"
+            ) from missing
+    return results
+
+
+def _row_to_binding(head_terms: Tuple[Term, ...], row: Row) -> Optional[Binding]:
+    binding: Binding = {}
+    for term, value in zip(head_terms, row):
+        if is_variable(term):
+            bound = binding.get(term)
+            if bound is None:
+                binding[term] = value
+            elif bound != value:
+                return None
+        elif term.value != value:
+            return None
+    return binding
+
+
+def _merge_binding(
+    binding: Binding, head_terms: Tuple[Term, ...], row: Row
+) -> Optional[Binding]:
+    merged = dict(binding)
+    for term, value in zip(head_terms, row):
+        if is_variable(term):
+            bound = merged.get(term)
+            if bound is None:
+                merged[term] = value
+            elif bound != value:
+                return None
+        elif term.value != value:
+            return None
+    return merged
+
+
+def evaluate_scq(query: SCQ, facts: FactStore) -> Set[Row]:
+    """Evaluate each block as a UCQ, then natural-join the blocks."""
+    block_answers = [evaluate_ucq(block, facts) for block in query.blocks]
+    return _evaluate_components(query.head, list(query.blocks), block_answers)
+
+
+def evaluate_uscq(query: USCQ, facts: FactStore) -> Set[Row]:
+    """Union of the member SCQs' answers."""
+    answers: Set[Row] = set()
+    for scq in query.scqs:
+        answers |= evaluate_scq(scq, facts)
+    return answers
+
+
+def evaluate_jucq(query: JUCQ, facts: FactStore) -> Set[Row]:
+    """Evaluate components then natural-join on shared head names."""
+    component_answers = [evaluate_ucq(c, facts) for c in query.components]
+    return _evaluate_components(query.head, list(query.components), component_answers)
+
+
+def evaluate_juscq(query: JUSCQ, facts: FactStore) -> Set[Row]:
+    """Evaluate USCQ components then natural-join on shared head names."""
+    component_answers = [evaluate_uscq(c, facts) for c in query.components]
+    heads = [c.scqs[0].head for c in query.components]
+
+    class _Shim:
+        def __init__(self, head):
+            self.head = head
+
+    shims = [_Shim(h) for h in heads]
+    return _evaluate_components(query.head, shims, component_answers)
+
+
+def evaluate(query, facts: FactStore) -> Set[Row]:
+    """Dispatch on the dialect of *query*."""
+    if isinstance(query, CQ):
+        return evaluate_cq(query, facts)
+    if isinstance(query, SCQ):
+        return evaluate_scq(query, facts)
+    if isinstance(query, USCQ):
+        return evaluate_uscq(query, facts)
+    if isinstance(query, UCQ):
+        return evaluate_ucq(query, facts)
+    if isinstance(query, JUCQ):
+        return evaluate_jucq(query, facts)
+    if isinstance(query, JUSCQ):
+        return evaluate_juscq(query, facts)
+    raise TypeError(f"unsupported query dialect: {type(query).__name__}")

@@ -1,0 +1,112 @@
+"""Homomorphisms between conjunctive queries; containment and equivalence.
+
+``q1`` is *contained in* ``q2`` (every answer of ``q1`` is an answer of
+``q2``, over every database) iff there is a homomorphism from ``q2`` into the
+canonical database of ``q1``: a mapping of ``q2``'s variables to ``q1``'s
+terms sending every atom of ``q2`` onto an atom of ``q1`` and the head of
+``q2`` onto the head of ``q1`` positionwise (Chandra & Merlin).
+
+The search is a backtracking join ordered most-constrained-atom-first, which
+is fast in practice for the small CQs produced by reformulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.queries.atoms import Atom
+from repro.queries.cq import CQ
+from repro.queries.terms import Term, Variable, is_variable
+
+
+def find_homomorphism(source: CQ, target: CQ) -> Optional[Dict[Variable, Term]]:
+    """A homomorphism from *source* into *target*, or None.
+
+    The mapping sends source variables to target terms; constants map to
+    themselves; the source head must map positionwise onto the target head.
+    """
+    if len(source.head) != len(target.head):
+        return None
+
+    mapping: Dict[Variable, Term] = {}
+    for source_term, target_term in zip(source.head, target.head):
+        if is_variable(source_term):
+            bound = mapping.get(source_term)
+            if bound is None:
+                mapping[source_term] = target_term
+            elif bound != target_term:
+                return None
+        elif source_term != target_term:
+            return None
+
+    atoms_by_predicate: Dict[Tuple[str, int], List[Atom]] = {}
+    for atom in target.atoms:
+        atoms_by_predicate.setdefault((atom.predicate, atom.arity), []).append(atom)
+
+    # Order source atoms: those with the fewest candidate target atoms first,
+    # re-sorted dynamically as variables get bound.
+    pending = list(source.atoms)
+
+    def candidates(atom: Atom, current: Dict[Variable, Term]) -> List[Atom]:
+        options = atoms_by_predicate.get((atom.predicate, atom.arity), [])
+        viable = []
+        for candidate in options:
+            if _atom_matches(atom, candidate, current) is not None:
+                viable.append(candidate)
+        return viable
+
+    def search(remaining: List[Atom], current: Dict[Variable, Term]) -> Optional[Dict[Variable, Term]]:
+        if not remaining:
+            return current
+        # Most constrained first.
+        scored = sorted(
+            range(len(remaining)),
+            key=lambda i: len(candidates(remaining[i], current)),
+        )
+        pick = scored[0]
+        atom = remaining[pick]
+        rest = remaining[:pick] + remaining[pick + 1 :]
+        for candidate in atoms_by_predicate.get((atom.predicate, atom.arity), []):
+            extended = _atom_matches(atom, candidate, current)
+            if extended is None:
+                continue
+            result = search(rest, extended)
+            if result is not None:
+                return result
+        return None
+
+    return search(pending, mapping)
+
+
+def _atom_matches(
+    source_atom: Atom,
+    target_atom: Atom,
+    mapping: Dict[Variable, Term],
+) -> Optional[Dict[Variable, Term]]:
+    """Try to extend *mapping* so that source_atom maps onto target_atom."""
+    extended = dict(mapping)
+    for source_term, target_term in zip(source_atom.args, target_atom.args):
+        if is_variable(source_term):
+            bound = extended.get(source_term)
+            if bound is None:
+                extended[source_term] = target_term
+            elif bound != target_term:
+                return None
+        elif source_term != target_term:
+            return None
+    return extended
+
+
+def is_contained_in(more_specific: CQ, more_general: CQ) -> bool:
+    """True iff ``more_specific`` is contained in ``more_general``."""
+    return find_homomorphism(more_general, more_specific) is not None
+
+
+def are_equivalent(first: CQ, second: CQ) -> bool:
+    """True iff the two CQs have the same answers on every database."""
+    return is_contained_in(first, second) and is_contained_in(second, first)
+
+
+def contained_in_any(candidate: CQ, others: Sequence[CQ]) -> bool:
+    """True iff *candidate* is contained in at least one CQ of *others*."""
+    return any(is_contained_in(candidate, other) for other in others)

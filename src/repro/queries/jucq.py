@@ -1,0 +1,157 @@
+"""Joins of UCQs (JUCQs) and joins of USCQs (JUSCQs).
+
+These are the dialects produced by cover-based reformulation (Definition 3
+of the paper): each cover fragment is reformulated into a UCQ (or USCQ), and
+the fragment reformulations are joined on their shared head variables:
+
+    q(x) <- UCQ1(x1) AND ... AND UCQn(xn)
+
+Join conditions are implicit by variable-name equality across component
+heads; the final projection is ``head``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.queries.cq import CQ
+from repro.queries.scq import USCQ
+from repro.queries.substitution import Substitution
+from repro.queries.terms import Term, Variable, is_variable
+from repro.queries.ucq import UCQ
+
+
+def expand_components(
+    head: Tuple[Term, ...],
+    components: Sequence,
+    name: str,
+) -> List[CQ]:
+    """Distribute joins over unions: the UCQ equivalent of a join of unions.
+
+    Each component exposes ``disjuncts`` (an iterable of CQs) and a head.
+    A combination picks one disjunct per component; the disjunct bodies are
+    concatenated after renaming each disjunct's head to the *component* head
+    (so cross-component joins connect) and renaming existential variables
+    apart (so they never capture each other).
+    """
+    combinations: List[List[CQ]] = [[]]
+    for component in components:
+        extended: List[List[CQ]] = []
+        for prefix in combinations:
+            for disjunct in component.disjuncts:
+                extended.append(prefix + [(component, disjunct)])
+        combinations = extended
+
+    expanded: List[CQ] = []
+    for combination in combinations:
+        atoms = []
+        taken: set = set()
+        for component, disjunct in combination:
+            # Rename the disjunct head onto the component head so that the
+            # implicit join by name is realized structurally.
+            mapping: Dict[Variable, Term] = {}
+            ok = True
+            for disjunct_term, component_term in zip(disjunct.head, component_head(component)):
+                if is_variable(disjunct_term):
+                    bound = mapping.get(disjunct_term)
+                    if bound is None:
+                        mapping[disjunct_term] = component_term
+                    elif bound != component_term:
+                        ok = False
+                        break
+                elif disjunct_term != component_term:
+                    ok = False
+                    break
+            if not ok:
+                break
+            renamed = disjunct.apply(Substitution(mapping))
+            renamed = renamed.rename_apart(taken)
+            taken |= renamed.variables()
+            atoms.extend(renamed.atoms)
+        else:
+            expanded.append(CQ(head=head, atoms=tuple(atoms), name=name))
+    return expanded
+
+
+def component_head(component) -> Tuple[Term, ...]:
+    """The exported head terms of a JUCQ/SCQ component.
+
+    UCQ components do not carry an explicit head; their disjuncts share an
+    arity and the *first* disjunct's head names are taken as the exported
+    names (the reformulation code constructs components so that every
+    disjunct uses identical head names).
+    """
+    if hasattr(component, "head"):
+        return component.head
+    return component.disjuncts[0].head
+
+
+@dataclass(frozen=True)
+class JUCQ:
+    """A join of UCQ components projected on ``head``."""
+
+    head: Tuple[Term, ...]
+    components: Tuple[UCQ, ...]
+    name: str = "q_jucq"
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a JUCQ must have at least one component")
+
+    def __iter__(self) -> Iterator[UCQ]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def component_heads(self) -> List[Tuple[Term, ...]]:
+        """The exported head of each component, in order."""
+        return [component_head(c) for c in self.components]
+
+    def expand(self) -> List[CQ]:
+        """Equivalent UCQ (distribute the join over the component unions)."""
+        return expand_components(self.head, self.components, self.name)
+
+    def total_disjuncts(self) -> int:
+        """Sum of component union sizes (a size measure for reporting)."""
+        return sum(len(c) for c in self.components)
+
+    def __str__(self) -> str:
+        head_render = ", ".join(str(t) for t in self.head)
+        parts = "\n AND ".join(f"[{c}]" for c in self.components)
+        return f"{self.name}({head_render}) <-\n {parts}"
+
+
+@dataclass(frozen=True)
+class JUSCQ:
+    """A join of USCQ components projected on ``head``."""
+
+    head: Tuple[Term, ...]
+    components: Tuple[USCQ, ...]
+    name: str = "q_juscq"
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a JUSCQ must have at least one component")
+
+    def __iter__(self) -> Iterator[USCQ]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def expand(self) -> List[CQ]:
+        """Equivalent UCQ via per-component expansion then join distribution."""
+        expanded_components = []
+        for component in self.components:
+            head = component.scqs[0].head
+            expanded_components.append(
+                UCQ(tuple(component.expand()), name=component.name)
+            )
+        return expand_components(self.head, expanded_components, self.name)
+
+    def __str__(self) -> str:
+        head_render = ", ".join(str(t) for t in self.head)
+        parts = "\n AND ".join(f"[{c}]" for c in self.components)
+        return f"{self.name}({head_render}) <-\n {parts}"

@@ -1,0 +1,94 @@
+"""Minimization of CQs (cores) and UCQs (removal of subsumed disjuncts).
+
+The raw PerfectRef output is highly redundant (§2.3 of the paper): many
+disjuncts are contained in others, and individual CQs may carry redundant
+atoms introduced by unification steps. Minimization matters operationally:
+the paper reports the *minimal* UCQ of its query Q9 is "only" 145 CQs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.queries.cq import CQ
+from repro.queries.homomorphism import is_contained_in
+from repro.queries.terms import is_variable
+
+
+def minimize_cq(query: CQ) -> CQ:
+    """Compute a core of *query* by greedy atom elimination.
+
+    An atom can be dropped when the reduced query is still contained in the
+    original (the converse containment always holds, since dropping atoms
+    only generalizes). Head variables must keep at least one body occurrence.
+    """
+    current = query.dedup_atoms()
+    changed = True
+    while changed and len(current.atoms) > 1:
+        changed = False
+        for index in range(len(current.atoms)):
+            reduced_atoms = current.atoms[:index] + current.atoms[index + 1 :]
+            remaining_vars = {v for atom in reduced_atoms for v in atom.variables()}
+            if any(
+                is_variable(t) and t not in remaining_vars for t in current.head
+            ):
+                continue
+            reduced = current.with_atoms(reduced_atoms)
+            if is_contained_in(reduced, current):
+                current = reduced
+                changed = True
+                break
+    return current
+
+
+def minimize_ucq(disjuncts: Sequence[CQ], minimize_each: bool = False) -> List[CQ]:
+    """Remove disjuncts contained in another disjunct.
+
+    When two disjuncts are equivalent, the smaller (then earlier) one is
+    kept. With ``minimize_each`` set, each surviving CQ is additionally
+    reduced to a core.
+
+    Containment checks are quadratic in the union size, so a necessary
+    condition prunes pairs first: a homomorphism from ``other`` into
+    ``candidate`` requires every predicate of ``other`` to occur in
+    ``candidate``. Predicate sets are encoded as bitmasks, making the
+    filter a single AND per pair — on reformulation outputs (where most
+    disjunct pairs differ in some predicate) this removes almost all of
+    the quadratic work.
+    """
+    survivors = [minimize_cq(cq) for cq in disjuncts] if minimize_each else list(disjuncts)
+
+    bit_of: dict = {}
+    masks: List[int] = []
+    for cq in survivors:
+        mask = 0
+        for atom in cq.atoms:
+            bit = bit_of.setdefault(atom.predicate, 1 << len(bit_of))
+            mask |= bit
+        masks.append(mask)
+
+    kept: List[CQ] = []
+    for index, candidate in enumerate(survivors):
+        candidate_mask = masks[index]
+        redundant = False
+        for other_index, other in enumerate(survivors):
+            if index == other_index:
+                continue
+            # Necessary condition: other's predicates all occur in candidate.
+            if masks[other_index] & ~candidate_mask:
+                continue
+            if not is_contained_in(candidate, other):
+                continue
+            if not is_contained_in(other, candidate):
+                redundant = True  # strictly more general disjunct exists
+                break
+            # Equivalent pair: prefer the one with fewer atoms, then the
+            # earliest, as the class representative.
+            if len(other.atoms) < len(candidate.atoms) or (
+                len(other.atoms) == len(candidate.atoms) and other_index < index
+            ):
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return kept

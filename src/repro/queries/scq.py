@@ -1,0 +1,108 @@
+"""Semi-conjunctive queries (SCQs) and unions thereof (USCQs).
+
+An SCQ (Thomazo [33], Table 4 of the paper) is a join of unions of
+*single-atom* CQs:
+
+    q(x) <- (a11 OR ... OR a1k) AND ... AND (an1 OR ... OR ank)
+
+Each parenthesized group is an :class:`AtomUnion` — structurally a UCQ whose
+disjuncts have exactly one body atom and a common head (the variables shared
+with the rest of the query). A USCQ is a union of SCQs with equal arity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.queries.cq import CQ
+from repro.queries.terms import Term
+from repro.queries.ucq import UCQ
+
+
+class AtomUnion(UCQ):
+    """A UCQ whose every disjunct has a single body atom."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for cq in self.disjuncts:
+            if len(cq.atoms) != 1:
+                raise ValueError(
+                    "AtomUnion disjuncts must have exactly one atom, "
+                    f"got {len(cq.atoms)} in {cq}"
+                )
+
+
+@dataclass(frozen=True)
+class SCQ:
+    """A join of :class:`AtomUnion` blocks, projected on ``head``.
+
+    Join conditions are implicit: blocks join on equality of head variables
+    sharing the same name, exactly as fragments of a JUCQ do.
+    """
+
+    head: Tuple[Term, ...]
+    blocks: Tuple[AtomUnion, ...]
+    name: str = "q_scq"
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("an SCQ must have at least one block")
+
+    def __iter__(self) -> Iterator[AtomUnion]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def expand(self) -> List[CQ]:
+        """Distribute the joins over the unions, yielding equivalent CQs."""
+        from repro.queries.jucq import expand_components
+
+        return expand_components(self.head, self.blocks, self.name)
+
+    def __str__(self) -> str:
+        rendered = " AND ".join(f"({block})" for block in self.blocks)
+        head_render = ", ".join(str(t) for t in self.head)
+        return f"{self.name}({head_render}) <- {rendered}"
+
+
+@dataclass(frozen=True)
+class USCQ:
+    """A union of SCQs with the same head arity."""
+
+    scqs: Tuple[SCQ, ...]
+    name: str = "q_uscq"
+
+    def __post_init__(self) -> None:
+        if not self.scqs:
+            raise ValueError("a USCQ must have at least one SCQ")
+        arities = {len(s.head) for s in self.scqs}
+        if len(arities) != 1:
+            raise ValueError(f"USCQ terms disagree on head arity: {sorted(arities)}")
+
+    @property
+    def arity(self) -> int:
+        """Head arity shared by every SCQ."""
+        return len(self.scqs[0].head)
+
+    def __iter__(self) -> Iterator[SCQ]:
+        return iter(self.scqs)
+
+    def __len__(self) -> int:
+        return len(self.scqs)
+
+    def expand(self) -> List[CQ]:
+        """The equivalent list of CQs (union of each SCQ's expansion)."""
+        expanded: List[CQ] = []
+        for scq in self.scqs:
+            expanded.extend(scq.expand())
+        return expanded
+
+    def __str__(self) -> str:
+        return "\n OR ".join(str(s) for s in self.scqs)
+
+
+def single_atom_union(cqs: Sequence[CQ], name: str = "block") -> AtomUnion:
+    """Build an :class:`AtomUnion` from single-atom CQs."""
+    return AtomUnion(tuple(cqs), name=name)

@@ -1,0 +1,92 @@
+"""Substitutions: finite mappings from variables to terms.
+
+A substitution is applied to terms, atoms and conjunctive queries. It is
+kept immutable; composition returns a new substitution. Following the
+standard convention, applying ``s1.compose(s2)`` is equivalent to applying
+``s1`` first and then ``s2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.queries.atoms import Atom
+from repro.queries.terms import Term, Variable, is_variable
+
+
+class Substitution:
+    """An immutable mapping ``Variable -> Term``."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Variable, Term] | None = None) -> None:
+        items: Dict[Variable, Term] = {}
+        if mapping:
+            for var, term in mapping.items():
+                if not isinstance(var, Variable):
+                    raise TypeError(f"substitution keys must be variables, got {var!r}")
+                if term != var:
+                    items[var] = term
+        self._mapping = items
+
+    @classmethod
+    def identity(cls) -> "Substitution":
+        """The empty substitution."""
+        return cls()
+
+    def __bool__(self) -> bool:
+        return bool(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{var} -> {term}" for var, term in self.items())
+        return f"{{{pairs}}}"
+
+    def items(self) -> Iterable[Tuple[Variable, Term]]:
+        """Iterate over the (variable, image) pairs."""
+        return self._mapping.items()
+
+    def get(self, var: Variable) -> Term:
+        """Image of *var*, or *var* itself when unmapped."""
+        return self._mapping.get(var, var)
+
+    def apply_term(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if is_variable(term):
+            return self._mapping.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of *atom*."""
+        return Atom(atom.predicate, tuple(self.apply_term(t) for t in atom.args))
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
+        """Apply the substitution to a sequence of atoms, preserving order."""
+        return tuple(self.apply_atom(a) for a in atoms)
+
+    def compose(self, later: "Substitution") -> "Substitution":
+        """Return the substitution equivalent to applying *self* then *later*."""
+        combined: Dict[Variable, Term] = {
+            var: later.apply_term(term) for var, term in self._mapping.items()
+        }
+        for var, term in later.items():
+            if var not in self._mapping:
+                combined[var] = term
+        return Substitution(combined)
+
+    def bind(self, var: Variable, term: Term) -> "Substitution":
+        """Return a new substitution extended with ``var -> term``."""
+        extended = dict(self._mapping)
+        extended[var] = term
+        return Substitution(extended)
+
+    def domain(self) -> frozenset:
+        """The set of variables the substitution actually moves."""
+        return frozenset(self._mapping)

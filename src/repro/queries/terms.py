@@ -1,0 +1,73 @@
+"""Terms of first-order queries: variables and constants.
+
+Terms are immutable and hashable so that atoms, conjunctive queries and
+whole reformulations can be deduplicated by value. Variables compare by
+name; constants compare by value. A global, thread-safe counter backs
+:func:`fresh_variable`, used by the reformulation engine whenever a new
+non-distinguished variable is required (e.g. when expanding ``A <= exists R``
+backward into ``R(x, fresh)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A first-order variable, identified by its name.
+
+    Variable names beginning with an underscore are *anonymous*: they are
+    produced by :func:`fresh_variable` and play the role of the ``_``
+    placeholder (unbound variable) of the PerfectRef algorithm.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_anonymous(self) -> bool:
+        """True when the variable was generated as a fresh placeholder."""
+        return self.name.startswith("_")
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A first-order constant (an ABox individual or a literal value)."""
+
+    value: Union[str, int]
+
+    def __str__(self) -> str:
+        return f"<{self.value}>" if isinstance(self.value, str) else str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+_fresh_counter = itertools.count()
+_fresh_lock = threading.Lock()
+
+
+def fresh_variable(prefix: str = "_v") -> Variable:
+    """Return a variable guaranteed distinct from all previously created ones.
+
+    The default prefix starts with an underscore so fresh variables are
+    anonymous (see :attr:`Variable.is_anonymous`).
+    """
+    with _fresh_lock:
+        index = next(_fresh_counter)
+    return Variable(f"{prefix}{index}")
+
+
+def is_variable(term: Term) -> bool:
+    """True iff *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """True iff *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)

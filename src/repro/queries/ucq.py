@@ -1,0 +1,57 @@
+"""Unions of conjunctive queries (UCQs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.queries.cq import CQ
+from repro.queries.minimize import minimize_ucq
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A union ``CQ1 OR ... OR CQn`` of CQs with the same head arity.
+
+    Disjunct heads may use different variable names; only arity must agree
+    (each disjunct is translated to SQL with positional output aliases).
+    """
+
+    disjuncts: Tuple[CQ, ...]
+    name: str = "q_ucq"
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError("a UCQ must have at least one disjunct")
+        arities = {len(cq.head) for cq in self.disjuncts}
+        if len(arities) != 1:
+            raise ValueError(f"UCQ disjuncts disagree on head arity: {sorted(arities)}")
+
+    @property
+    def arity(self) -> int:
+        """Head arity shared by all disjuncts."""
+        return len(self.disjuncts[0].head)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[CQ]:
+        return iter(self.disjuncts)
+
+    def minimized(self) -> "UCQ":
+        """UCQ with disjuncts contained in another disjunct removed."""
+        return UCQ(tuple(minimize_ucq(self.disjuncts)), name=self.name)
+
+    def predicates(self) -> frozenset:
+        """All predicate names mentioned by any disjunct."""
+        return frozenset(
+            atom.predicate for cq in self.disjuncts for atom in cq.atoms
+        )
+
+    def __str__(self) -> str:
+        return "\n OR ".join(str(cq) for cq in self.disjuncts)
+
+
+def union_of(disjuncts: Sequence[CQ], name: str = "q_ucq") -> UCQ:
+    """Convenience constructor from any sequence of CQs."""
+    return UCQ(tuple(disjuncts), name=name)

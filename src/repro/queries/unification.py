@@ -1,0 +1,59 @@
+"""Most general unifiers for flat (function-free) atoms.
+
+The PerfectRef *reduce* step specializes a CQ by unifying two of its body
+atoms. Because DL-LiteR atoms contain no function symbols, unification is a
+simple positional walk; there is no occurs-check to worry about.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.queries.atoms import Atom
+from repro.queries.substitution import Substitution
+from repro.queries.terms import Variable, is_variable
+
+
+def most_general_unifier(
+    first: Atom,
+    second: Atom,
+    protected: FrozenSet[Variable] = frozenset(),
+) -> Optional[Substitution]:
+    """Return an mgu of the two atoms, or None when they do not unify.
+
+    *protected* variables (typically the distinguished variables of the
+    enclosing query) are kept as representatives whenever possible: when a
+    protected variable meets an unprotected one, the unprotected variable is
+    bound to the protected one. This mirrors the paper's Example 7 footnote
+    where the unifier keeps the head variable ``x``.
+    """
+    if first.predicate != second.predicate or first.arity != second.arity:
+        return None
+
+    unifier = Substitution.identity()
+    for left_raw, right_raw in zip(first.args, second.args):
+        left = unifier.apply_term(left_raw)
+        right = unifier.apply_term(right_raw)
+        if left == right:
+            continue
+        left_is_var = is_variable(left)
+        right_is_var = is_variable(right)
+        if left_is_var and right_is_var:
+            # Prefer protected (head) variables, then named over anonymous,
+            # as the representative term.
+            if left in protected and right not in protected:
+                binder, target = right, left
+            elif right in protected and left not in protected:
+                binder, target = left, right
+            elif left.is_anonymous and not right.is_anonymous:
+                binder, target = left, right
+            else:
+                binder, target = right, left
+            unifier = unifier.compose(Substitution({binder: target}))
+        elif left_is_var:
+            unifier = unifier.compose(Substitution({left: right}))
+        elif right_is_var:
+            unifier = unifier.compose(Substitution({right: left}))
+        else:
+            return None
+    return unifier

@@ -1,0 +1,168 @@
+"""PerfectRef: CQ-to-UCQ reformulation for DL-LiteR (Calvanese et al. [13]).
+
+The algorithm exhaustively applies two specialization operations to the
+input CQ and every CQ generated along the way, until a fixpoint:
+
+* **backward constraint application** — an atom is replaced by the
+  left-hand side of an applicable positive inclusion (read in the backward
+  direction: the constraint is one of the possible *reasons* the atom may
+  hold);
+* **reduce** — two body atoms are specialized into their most general
+  unifier; unification may turn bound variables into unbound ones, enabling
+  further backward applications.
+
+Generated CQs are deduplicated modulo variable renaming via
+:meth:`repro.queries.cq.CQ.canonical_key`, which guarantees termination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dllite.axioms import Axiom, ConceptInclusion, RoleInclusion
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import AtomicConcept, BasicConcept, Exists, Role
+from repro.queries.atoms import Atom, concept_atom, role_atom
+from repro.queries.cq import CQ
+from repro.queries.terms import Term, Variable, fresh_variable, is_variable
+from repro.queries.ucq import UCQ
+from repro.queries.unification import most_general_unifier
+
+
+def _backward_concept_applications(
+    atom: Atom,
+    target: BasicConcept,
+    inclusions: Iterable[ConceptInclusion],
+    anchor: Term,
+) -> List[Atom]:
+    """Atoms obtained by applying inclusions into *target* backward.
+
+    *anchor* is the term of *atom* that instances of *target* bind (the
+    argument of a concept atom, or the non-unbound side of a role atom).
+    """
+    results: List[Atom] = []
+    for axiom in inclusions:
+        lhs = axiom.lhs
+        if isinstance(lhs, AtomicConcept):
+            results.append(concept_atom(lhs.name, anchor))
+        else:
+            assert isinstance(lhs, Exists)
+            witness = fresh_variable()
+            if lhs.role.inverse:
+                results.append(role_atom(lhs.role.name, witness, anchor))
+            else:
+                results.append(role_atom(lhs.role.name, anchor, witness))
+    return results
+
+
+def _backward_role_application(atom: Atom, axiom: RoleInclusion) -> Atom:
+    """Apply a role inclusion backward to a role atom.
+
+    The axiom ``S1 <= S2`` (signed roles) with ``S2.name == atom.predicate``
+    states ``S1(u, v) => S2(u, v)``; reading the target atom as the signed
+    atom ``S2(u, v)`` fixes ``(u, v)``, and the specialized atom is the
+    signed atom ``S1(u, v)`` rendered over the underlying role name.
+    """
+    first, second = atom.args
+    if axiom.rhs.inverse:
+        u, v = second, first
+    else:
+        u, v = first, second
+    if axiom.lhs.inverse:
+        return role_atom(axiom.lhs.name, v, u)
+    return role_atom(axiom.lhs.name, u, v)
+
+
+def _specializations_of_atom(atom: Atom, query: CQ, tbox: TBox) -> List[Atom]:
+    """All single-step backward specializations of *atom* within *query*."""
+    results: List[Atom] = []
+    if atom.is_concept_atom:
+        target: BasicConcept = AtomicConcept(atom.predicate)
+        results.extend(
+            _backward_concept_applications(
+                atom, target, tbox.inclusions_into_concept(target), atom.args[0]
+            )
+        )
+        return results
+
+    unbound = query.unbound_variables()
+    subject, obj = atom.args
+    if is_variable(obj) and obj in unbound:
+        target = Exists(Role(atom.predicate))
+        results.extend(
+            _backward_concept_applications(
+                atom, target, tbox.inclusions_into_concept(target), subject
+            )
+        )
+    if is_variable(subject) and subject in unbound:
+        target = Exists(Role(atom.predicate, inverse=True))
+        results.extend(
+            _backward_concept_applications(
+                atom, target, tbox.inclusions_into_concept(target), obj
+            )
+        )
+    for axiom in tbox.inclusions_into_role(atom.predicate):
+        results.append(_backward_role_application(atom, axiom))
+    return results
+
+
+def perfectref(query: CQ, tbox: TBox, max_queries: Optional[int] = None) -> List[CQ]:
+    """The UCQ reformulation of *query* w.r.t. *tbox*, as a list of CQs.
+
+    The first element is always (a deduplicated copy of) the input query.
+    ``max_queries`` optionally bounds the fixpoint as a safety valve for
+    adversarial inputs; the workloads in this repository never hit it.
+    """
+    start = query.dedup_atoms()
+    seen: Set[Tuple] = {start.canonical_key()}
+    results: List[CQ] = [start]
+    frontier: List[CQ] = [start]
+
+    def consider(candidate: CQ) -> None:
+        if max_queries is not None and len(results) >= max_queries:
+            return
+        candidate = candidate.dedup_atoms()
+        key = candidate.canonical_key()
+        if key in seen:
+            return
+        seen.add(key)
+        results.append(candidate)
+        frontier.append(candidate)
+
+    while frontier:
+        if max_queries is not None and len(results) >= max_queries:
+            break
+        current = frontier.pop()
+        # (a) backward constraint applications, one atom at a time.
+        for index, atom in enumerate(current.atoms):
+            for specialized in _specializations_of_atom(atom, current, tbox):
+                atoms = (
+                    current.atoms[:index]
+                    + (specialized,)
+                    + current.atoms[index + 1 :]
+                )
+                consider(current.with_atoms(atoms))
+        # (b) reduce: unify pairs of atoms.
+        protected = current.head_variables()
+        for i in range(len(current.atoms)):
+            for j in range(i + 1, len(current.atoms)):
+                unifier = most_general_unifier(
+                    current.atoms[i], current.atoms[j], frozenset(protected)
+                )
+                if unifier is not None:
+                    consider(current.apply(unifier))
+    return results
+
+
+def reformulate_to_ucq(
+    query: CQ,
+    tbox: TBox,
+    minimize: bool = False,
+    max_queries: Optional[int] = None,
+) -> UCQ:
+    """CQ-to-UCQ reformulation, optionally minimized (subsumed CQs removed)."""
+    disjuncts = perfectref(query, tbox, max_queries=max_queries)
+    ucq = UCQ(tuple(disjuncts), name=f"{query.name}_ucq")
+    if minimize:
+        ucq = ucq.minimized()
+    return ucq

@@ -1,0 +1,229 @@
+"""CQ-to-USCQ reformulation by verified factorization of the UCQ.
+
+Thomazo [33] shows that unions of *semi-conjunctive* queries (joins of
+unions of single atoms) are often evaluated better by an RDBMS than the
+equivalent flat UCQ, because shared join structure is expressed once.
+
+This module factorizes a (minimized) UCQ reformulation into a USCQ:
+
+1. every disjunct is canonically renamed, so identical structure gets
+   identical variable names;
+2. disjuncts whose bodies use the *same term tuples per atom slot* are
+   grouped; each slot becomes a union block over the predicate alternatives
+   observed in the group;
+3. a group is only kept if its cross-product expansion is exactly covered
+   by the original UCQ (each expanded CQ must be contained in some original
+   disjunct) — groups where alternatives vary in at most one slot are exact
+   by construction; wider groups are admitted only after verification.
+
+The produced USCQ is therefore *equivalent* to the input UCQ by
+construction, which tests assert property-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dllite.tbox import TBox
+from repro.queries.atoms import Atom
+from repro.queries.cq import CQ
+from repro.queries.homomorphism import contained_in_any
+from repro.queries.scq import SCQ, AtomUnion, USCQ
+from repro.queries.substitution import Substitution
+from repro.queries.terms import Term, Variable, is_variable
+from repro.queries.ucq import UCQ
+
+
+@dataclass
+class _Group:
+    """A factorization group: fixed term tuples with predicate alternatives."""
+
+    head: Tuple[Term, ...]
+    slot_args: List[Tuple[Term, ...]]
+    slot_predicates: List[Set[str]]
+    members: List[CQ] = field(default_factory=list)
+
+    def varying_slots(self) -> int:
+        return sum(1 for preds in self.slot_predicates if len(preds) > 1)
+
+    def expansion_size(self) -> int:
+        size = 1
+        for preds in self.slot_predicates:
+            size *= len(preds)
+        return size
+
+    def expand(self) -> List[CQ]:
+        """All CQs in the cross product of slot alternatives."""
+        bodies: List[List[Atom]] = [[]]
+        for args, preds in zip(self.slot_args, self.slot_predicates):
+            bodies = [
+                body + [Atom(pred, args)]
+                for body in bodies
+                for pred in sorted(preds)
+            ]
+        return [CQ(head=self.head, atoms=tuple(body)) for body in bodies]
+
+    def to_scq(self, name: str) -> SCQ:
+        blocks = []
+        for index, (args, preds) in enumerate(
+            zip(self.slot_args, self.slot_predicates)
+        ):
+            disjuncts = tuple(
+                CQ(head=args, atoms=(Atom(pred, args),), name=f"b{index}")
+                for pred in sorted(preds)
+            )
+            blocks.append(AtomUnion(disjuncts, name=f"block{index}"))
+        return SCQ(head=self.head, blocks=tuple(blocks), name=name)
+
+
+def _canonical(cq: CQ) -> CQ:
+    """Canonicalize *cq* while preserving its head variable names.
+
+    Head variables must keep their original names: JUSCQ components join on
+    head-name equality across fragments, so renaming them would silently
+    drop join conditions. Only existential variables are normalized, and
+    atoms are re-emitted in a deterministic lexicographic-greedy order.
+    """
+    renaming: Dict[Variable, Variable] = {}
+    for term in cq.head:
+        if is_variable(term):
+            renaming[term] = term
+    fresh_index = 0
+
+    def rank(term: Term):
+        if not is_variable(term):
+            return (0, str(term))
+        if term in renaming:
+            return (1, renaming[term].name)
+        return (2, "")
+
+    remaining = list(cq.atoms)
+    ordered: List[Atom] = []
+    while remaining:
+        best = min(
+            range(len(remaining)),
+            key=lambda i: (
+                remaining[i].predicate,
+                remaining[i].arity,
+                tuple(rank(t) for t in remaining[i].args),
+            ),
+        )
+        atom = remaining.pop(best)
+        for term in atom.args:
+            if is_variable(term) and term not in renaming:
+                renaming[term] = Variable(f"_e{fresh_index}")
+                fresh_index += 1
+        ordered.append(atom)
+
+    substitution = Substitution(
+        {var: target for var, target in renaming.items() if var != target}
+    )
+    head = tuple(substitution.apply_term(t) for t in cq.head)
+    atoms = tuple(sorted(substitution.apply_atoms(ordered)))
+    return CQ(head=head, atoms=atoms, name=cq.name)
+
+
+def _try_align(group: _Group, cq: CQ) -> Optional[List[int]]:
+    """Match each atom of *cq* to a distinct slot with equal term tuple.
+
+    Returns the slot index per atom, or None when no bijection exists.
+    """
+    if len(cq.atoms) != len(group.slot_args) or cq.head != group.head:
+        return None
+    used: Set[int] = set()
+    assignment: List[int] = []
+
+    def backtrack(atom_index: int) -> bool:
+        if atom_index == len(cq.atoms):
+            return True
+        atom = cq.atoms[atom_index]
+        for slot, args in enumerate(group.slot_args):
+            if slot in used or args != atom.args:
+                continue
+            used.add(slot)
+            assignment.append(slot)
+            if backtrack(atom_index + 1):
+                return True
+            used.discard(slot)
+            assignment.pop()
+        return False
+
+    if backtrack(0):
+        return assignment
+    return None
+
+
+def factorize_ucq(
+    ucq: UCQ,
+    verify_wide_groups: bool = True,
+    name: str = "q_uscq",
+) -> USCQ:
+    """Factorize *ucq* into an equivalent USCQ (see module docstring)."""
+    canonical_disjuncts = [_canonical(cq) for cq in ucq.disjuncts]
+    groups: List[_Group] = []
+
+    for cq in canonical_disjuncts:
+        merged = False
+        for group in groups:
+            assignment = _try_align(group, cq)
+            if assignment is None:
+                continue
+            new_slots = [
+                slot
+                for atom, slot in zip(cq.atoms, assignment)
+                if atom.predicate not in group.slot_predicates[slot]
+            ]
+            already_varying = {
+                s for s, preds in enumerate(group.slot_predicates) if len(preds) > 1
+            }
+            widened = set(new_slots) | already_varying
+            if len(widened) > 1:
+                if not verify_wide_groups:
+                    continue
+                # Tentatively widen, then verify exactness of the expansion.
+                trial_predicates = [set(p) for p in group.slot_predicates]
+                for atom, slot in zip(cq.atoms, assignment):
+                    trial_predicates[slot].add(atom.predicate)
+                trial = _Group(
+                    group.head, group.slot_args, trial_predicates, group.members
+                )
+                if trial.expansion_size() > 256 or not all(
+                    contained_in_any(expanded, ucq.disjuncts)
+                    for expanded in trial.expand()
+                ):
+                    continue
+                group.slot_predicates = trial_predicates
+            else:
+                for atom, slot in zip(cq.atoms, assignment):
+                    group.slot_predicates[slot].add(atom.predicate)
+            group.members.append(cq)
+            merged = True
+            break
+        if not merged:
+            groups.append(
+                _Group(
+                    head=cq.head,
+                    slot_args=[atom.args for atom in cq.atoms],
+                    slot_predicates=[{atom.predicate} for atom in cq.atoms],
+                    members=[cq],
+                )
+            )
+
+    scqs = tuple(
+        group.to_scq(f"{name}_scq{i}") for i, group in enumerate(groups)
+    )
+    return USCQ(scqs, name=name)
+
+
+def reformulate_to_uscq(
+    query: CQ,
+    tbox: TBox,
+    minimize: bool = True,
+    name: Optional[str] = None,
+) -> USCQ:
+    """CQ-to-USCQ reformulation: PerfectRef, minimize, factorize."""
+    from repro.reformulation.perfectref import reformulate_to_ucq
+
+    ucq = reformulate_to_ucq(query, tbox, minimize=minimize)
+    return factorize_ucq(ucq, name=name or f"{query.name}_uscq")

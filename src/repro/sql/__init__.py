@@ -1,0 +1,11 @@
+"""FOL-to-SQL translation against a storage layout.
+
+:class:`~repro.sql.translator.SQLTranslator` renders every dialect of
+Table 4 into the SQL subset both backends evaluate; JUCQ/JUSCQ use the
+paper's ``WITH ... SELECT DISTINCT`` shape (§3), materializing one CTE per
+reformulated fragment.
+"""
+
+from repro.sql.translator import SQLTranslator
+
+__all__ = ["SQLTranslator"]

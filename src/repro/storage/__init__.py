@@ -1,0 +1,40 @@
+"""Storage: dictionary encoding, layouts, and the two RDBMS backends.
+
+The paper evaluates its reformulations on PostgreSQL and DB2 over two data
+layouts. Here:
+
+* :mod:`dictionary` — facts are dictionary-encoded into integers before
+  storage, "as customary in efficient Semantic Web data management
+  systems" (§6.1);
+* :mod:`layouts` — the **simple layout** (one unary table per concept, one
+  binary table per role, all one- and two-attribute indexes) and a
+  **DB2RDF-style layout** (a wide DPH table hashing predicates to
+  (pred, value) column pairs [9]);
+* :mod:`sqlite_backend` — SQLite as the open-source system (the paper's
+  Postgres role);
+* :mod:`memory_backend` — the from-scratch :class:`repro.engine.MiniRDBMS`
+  as the commercial system with an accessible cost estimator (the paper's
+  DB2 role).
+"""
+
+from repro.storage.dictionary import Dictionary
+from repro.storage.layouts import (
+    LayoutData,
+    RDFLayout,
+    SimpleLayout,
+    TableSpec,
+)
+from repro.storage.base import Backend
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.storage.memory_backend import MemoryBackend
+
+__all__ = [
+    "Backend",
+    "Dictionary",
+    "LayoutData",
+    "MemoryBackend",
+    "RDFLayout",
+    "SQLiteBackend",
+    "SimpleLayout",
+    "TableSpec",
+]

@@ -1,0 +1,35 @@
+"""The backend interface both RDBMS substrates implement."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+from repro.storage.layouts import LayoutData
+
+Row = Tuple
+
+
+class Backend(ABC):
+    """A SQL evaluation engine hosting one loaded layout.
+
+    The two concrete implementations are :class:`SQLiteBackend` (the
+    paper's open-source system role) and :class:`MemoryBackend` (the
+    commercial-system role, backed by :class:`repro.engine.MiniRDBMS`).
+    """
+
+    #: Human-readable backend name (used in benchmark reports).
+    name: str = "backend"
+
+    @abstractmethod
+    def load(self, data: LayoutData) -> None:
+        """Create tables and indexes, insert rows, collect statistics."""
+
+    @abstractmethod
+    def execute(self, sql: str) -> List[Row]:
+        """Evaluate *sql* and return the result rows."""
+
+    @abstractmethod
+    def estimated_cost(self, sql: str) -> float:
+        """The backend's own cost estimate for *sql* (the paper's
+        "RDBMS cost estimation" — ``explain`` / ``db2expln``)."""

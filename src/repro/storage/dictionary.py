@@ -1,0 +1,56 @@
+"""Dictionary encoding: constants to dense integers and back."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Dictionary:
+    """A bidirectional mapping ``constant <-> integer code``.
+
+    Codes are assigned densely in first-seen order, so the encoding is
+    deterministic for a deterministic fact stream (the benchmark generator
+    is seeded).
+    """
+
+    def __init__(self) -> None:
+        self._code_of: Dict[str, int] = {}
+        self._value_of: List[str] = []
+
+    def encode(self, value: str) -> int:
+        """The code of *value*, allocating one if unseen."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._value_of)
+            self._code_of[value] = code
+            self._value_of.append(value)
+        return code
+
+    def encode_many(self, values: Iterable[str]) -> List[int]:
+        """Encode a sequence of values."""
+        return [self.encode(v) for v in values]
+
+    def try_encode(self, value: str) -> Optional[int]:
+        """The code of *value*, or None when it was never encoded.
+
+        Query constants that do not occur in the data have no code; the
+        translator turns them into an always-false predicate.
+        """
+        return self._code_of.get(value)
+
+    def decode(self, code: int) -> str:
+        """The constant for *code* (raises IndexError on unknown codes)."""
+        return self._value_of[code]
+
+    def decode_row(self, row: Tuple) -> Tuple:
+        """Decode every integer in a result row."""
+        return tuple(
+            self._value_of[v] if isinstance(v, int) and 0 <= v < len(self._value_of) else v
+            for v in row
+        )
+
+    def __len__(self) -> int:
+        return len(self._value_of)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._code_of

@@ -1,0 +1,255 @@
+"""Storage layouts: simple (per-predicate tables) and DB2RDF-style DPH.
+
+A layout turns an ABox into :class:`TableSpec` rows (dictionary-encoded)
+and tells the SQL translator how to access an atom: as one table reference
+(simple layout) or as a union of column probes over a wide table (RDF
+layout). The RDF layout is the reproduction of DB2RDF [9]: each subject is
+one (or more, on overflow) wide rows holding up to ``width`` (predicate,
+value) pairs, a predicate's column being its hash slot possibly displaced
+by linear probing — so a query atom must disjunct over *all* columns, which
+is exactly what makes reformulated SQL on this layout huge (§6.3).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dllite.abox import ABox
+from repro.queries.atoms import Atom
+from repro.storage.dictionary import Dictionary
+
+#: Sentinel predicate name for concept membership in the RDF layout.
+TYPE_PREDICATE = "rdf:type"
+
+#: An encoded value that no dictionary code ever takes (codes are >= 0).
+IMPOSSIBLE_CODE = 999_999_999
+
+
+@dataclass(frozen=True)
+class AtomBranch:
+    """One way to read an atom from the storage: a table access.
+
+    ``arg_columns[i]`` is the column providing the atom's i-th argument;
+    ``fixed`` are additional (column = encoded-constant) constraints.
+    """
+
+    table: str
+    arg_columns: Tuple[str, ...]
+    fixed: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass
+class TableSpec:
+    """A table the backend must materialize."""
+
+    name: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple]
+    indexes: Tuple[Tuple[str, ...], ...] = ()
+
+
+@dataclass
+class LayoutData:
+    """Everything a backend needs to load."""
+
+    tables: List[TableSpec] = field(default_factory=list)
+
+
+def _sanitize(name: str) -> str:
+    """Make a predicate name safe as (part of) a SQL identifier."""
+    return "".join(c if c.isalnum() else "_" for c in name).lower()
+
+
+class SimpleLayout:
+    """One unary table per concept, one binary table per role (§6.1).
+
+    All one- and two-attribute indexes are declared, as in the paper's
+    Postgres setup.
+    """
+
+    name = "simple"
+
+    def __init__(self, dictionary: Optional[Dictionary] = None) -> None:
+        self.dictionary = dictionary or Dictionary()
+
+    @staticmethod
+    def concept_table(concept: str) -> str:
+        return f"c_{_sanitize(concept)}"
+
+    @staticmethod
+    def role_table(role: str) -> str:
+        return f"r_{_sanitize(role)}"
+
+    def build(
+        self,
+        abox: ABox,
+        tbox=None,
+        extra_concepts=(),
+        extra_roles=(),
+    ) -> LayoutData:
+        """Encode the ABox into per-predicate tables.
+
+        When a TBox is supplied, a table exists for *every* predicate of
+        its signature (reformulations mention TBox predicates that may
+        have no explicit facts — those tables are simply empty).
+        ``extra_concepts``/``extra_roles`` extend the schema further, for
+        workloads querying predicates outside the KB signature.
+        """
+        concepts = set(abox.concept_names()) | set(extra_concepts)
+        roles = set(abox.role_names()) | set(extra_roles)
+        if tbox is not None:
+            concepts |= set(tbox.concept_names())
+            roles |= set(tbox.role_names())
+        data = LayoutData()
+        for concept in sorted(concepts):
+            rows = [
+                (self.dictionary.encode(individual),)
+                for (individual,) in sorted(abox.concept_facts(concept))
+            ]
+            data.tables.append(
+                TableSpec(
+                    name=self.concept_table(concept),
+                    columns=("s",),
+                    rows=rows,
+                    indexes=(("s",),),
+                )
+            )
+        for role in sorted(roles):
+            rows = [
+                (self.dictionary.encode(s), self.dictionary.encode(o))
+                for s, o in sorted(abox.role_facts(role))
+            ]
+            data.tables.append(
+                TableSpec(
+                    name=self.role_table(role),
+                    columns=("s", "o"),
+                    rows=rows,
+                    indexes=(("s",), ("o",), ("s", "o")),
+                )
+            )
+        return data
+
+    def atom_branches(self, atom: Atom) -> List[AtomBranch]:
+        """A single branch: the atom's own table."""
+        if atom.is_concept_atom:
+            return [AtomBranch(self.concept_table(atom.predicate), ("s",))]
+        return [AtomBranch(self.role_table(atom.predicate), ("s", "o"))]
+
+
+class RDFLayout:
+    """A DB2RDF-style wide-table ("DPH") layout.
+
+    ``width`` (predicate, value) column pairs per row; concept membership
+    is stored under the reserved :data:`TYPE_PREDICATE`. Placement: a
+    predicate's *home* column is ``crc32(name) % width``; collisions probe
+    linearly and, failing that, spill the subject onto an extra row.
+    """
+
+    name = "rdf"
+
+    def __init__(
+        self, width: int = 8, dictionary: Optional[Dictionary] = None
+    ) -> None:
+        if width < 1:
+            raise ValueError("RDF layout width must be positive")
+        self.width = width
+        self.dictionary = dictionary or Dictionary()
+
+    # ------------------------------------------------------------------
+    def home_column(self, predicate: str) -> int:
+        """The hash slot a predicate prefers."""
+        return zlib.crc32(predicate.encode("utf-8")) % self.width
+
+    def build(self, abox: ABox, tbox=None) -> LayoutData:
+        """Encode the ABox into one wide DPH table.
+
+        The TBox argument is accepted for interface symmetry with the
+        simple layout; the wide table needs no per-predicate schema, and
+        atoms over fact-less predicates translate to an impossible code.
+        """
+        # Gather (predicate name, value code) pairs per subject.
+        per_subject: Dict[int, List[Tuple[str, int]]] = {}
+        for role in sorted(abox.role_names()):
+            for s, o in sorted(abox.role_facts(role)):
+                subject = self.dictionary.encode(s)
+                per_subject.setdefault(subject, []).append(
+                    (role, self.dictionary.encode(o))
+                )
+        for concept in sorted(abox.concept_names()):
+            class_code = self.dictionary.encode(concept)
+            for (individual,) in sorted(abox.concept_facts(concept)):
+                subject = self.dictionary.encode(individual)
+                per_subject.setdefault(subject, []).append(
+                    (TYPE_PREDICATE, class_code)
+                )
+
+        columns: List[str] = ["s"]
+        for i in range(self.width):
+            columns.extend([f"p{i}", f"v{i}"])
+
+        rows: List[Tuple] = []
+        for subject in sorted(per_subject):
+            spill_rows: List[List] = []
+            for predicate, value in per_subject[subject]:
+                pred_code = self.dictionary.encode(predicate)
+                placed = False
+                for row in spill_rows:
+                    home = self.home_column(predicate)
+                    for probe in range(self.width):
+                        column = (home + probe) % self.width
+                        slot = 1 + 2 * column
+                        if row[slot] is None:
+                            row[slot] = pred_code
+                            row[slot + 1] = value
+                            placed = True
+                            break
+                    if placed:
+                        break
+                if not placed:
+                    row = [subject] + [None] * (2 * self.width)
+                    home = self.home_column(predicate)
+                    slot = 1 + 2 * home
+                    row[slot] = pred_code
+                    row[slot + 1] = value
+                    spill_rows.append(row)
+            rows.extend(tuple(row) for row in spill_rows)
+
+        indexes: List[Tuple[str, ...]] = [("s",)]
+        indexes.extend((f"p{i}",) for i in range(self.width))
+        return LayoutData(
+            tables=[
+                TableSpec(
+                    name="dph",
+                    columns=tuple(columns),
+                    rows=rows,
+                    indexes=tuple(indexes),
+                )
+            ]
+        )
+
+    def atom_branches(self, atom: Atom) -> List[AtomBranch]:
+        """One branch per wide column: the predicate may sit in any slot."""
+        branches: List[AtomBranch] = []
+        if atom.is_concept_atom:
+            type_code = self.dictionary.try_encode(TYPE_PREDICATE)
+            class_code = self.dictionary.try_encode(atom.predicate)
+            type_code = IMPOSSIBLE_CODE if type_code is None else type_code
+            class_code = IMPOSSIBLE_CODE if class_code is None else class_code
+            for i in range(self.width):
+                branches.append(
+                    AtomBranch(
+                        "dph",
+                        ("s",),
+                        ((f"p{i}", type_code), (f"v{i}", class_code)),
+                    )
+                )
+        else:
+            pred_code = self.dictionary.try_encode(atom.predicate)
+            pred_code = IMPOSSIBLE_CODE if pred_code is None else pred_code
+            for i in range(self.width):
+                branches.append(
+                    AtomBranch("dph", ("s", f"v{i}"), ((f"p{i}", pred_code),))
+                )
+        return branches

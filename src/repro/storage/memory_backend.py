@@ -1,0 +1,50 @@
+"""MiniRDBMS backend — the reproduction's commercial RDBMS (DB2 role).
+
+A thin adapter over :class:`repro.engine.MiniRDBMS`: native cost-based
+EXPLAIN (the analogue of ``db2expln``) and DB2's 2,000,000-character
+statement limit, which the RDF-layout reformulations of the heaviest
+queries exceed, reproducing the paper's §6.3 failures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.database import DB2_STATEMENT_LIMIT, MiniRDBMS
+from repro.engine.operators import CostParameters, DEFAULT_COSTS
+from repro.storage.base import Backend, Row
+from repro.storage.layouts import LayoutData
+
+
+class MemoryBackend(Backend):
+    """The from-scratch engine as a loadable backend."""
+
+    name = "minirdbms"
+
+    def __init__(
+        self,
+        max_statement_length: int = DB2_STATEMENT_LIMIT,
+        cost_parameters: CostParameters = DEFAULT_COSTS,
+    ) -> None:
+        self.db = MiniRDBMS(
+            max_statement_length=max_statement_length,
+            cost_parameters=cost_parameters,
+        )
+
+    def load(self, data: LayoutData) -> None:
+        for spec in data.tables:
+            self.db.create_table(spec.name, spec.columns)
+            self.db.insert_many(spec.name, spec.rows)
+            for index_columns in spec.indexes:
+                self.db.create_index(spec.name, index_columns)
+        self.db.analyze()
+
+    def execute(self, sql: str) -> List[Row]:
+        return self.db.execute(sql)
+
+    def estimated_cost(self, sql: str) -> float:
+        return self.db.estimated_cost(sql)
+
+    def explain_text(self, sql: str) -> str:
+        """The engine's EXPLAIN rendering (plan tree with estimates)."""
+        return self.db.explain(sql).text

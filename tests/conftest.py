@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's running-example knowledge bases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dllite.abox import ABox
+from repro.dllite.axioms import ConceptInclusion, RoleInclusion
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import AtomicConcept as C
+from repro.dllite.vocabulary import Exists, Role
+
+
+@pytest.fixture
+def example1_tbox() -> TBox:
+    """The TBox of paper Example 1 (Table 2, constraints T1-T7)."""
+    works_with = Role("worksWith")
+    supervised_by = Role("supervisedBy")
+    return TBox(
+        [
+            ConceptInclusion(C("PhDStudent"), C("Researcher")),                      # T1
+            ConceptInclusion(Exists(works_with), C("Researcher")),                   # T2
+            ConceptInclusion(Exists(works_with.inverted()), C("Researcher")),        # T3
+            RoleInclusion(works_with, works_with.inverted()),                        # T4
+            RoleInclusion(supervised_by, works_with),                                # T5
+            ConceptInclusion(Exists(supervised_by), C("PhDStudent")),                # T6
+            ConceptInclusion(
+                C("PhDStudent"), Exists(supervised_by.inverted()), negative=True
+            ),                                                                       # T7
+        ]
+    )
+
+
+@pytest.fixture
+def example1_abox() -> ABox:
+    """The ABox of paper Example 1 (assertions A1-A3)."""
+    abox = ABox()
+    abox.add_role("worksWith", "Ioana", "Francois")      # A1
+    abox.add_role("supervisedBy", "Damian", "Ioana")     # A2
+    abox.add_role("supervisedBy", "Damian", "Francois")  # A3
+    return abox
+
+
+@pytest.fixture
+def example7_tbox() -> TBox:
+    """The TBox of paper Example 7 (running example of Section 4)."""
+    supervised_by = Role("supervisedBy")
+    return TBox(
+        [
+            ConceptInclusion(C("Graduate"), Exists(supervised_by)),
+            RoleInclusion(supervised_by, Role("worksWith")),
+        ]
+    )
+
+
+@pytest.fixture
+def example7_abox() -> ABox:
+    """The ABox of paper Example 7."""
+    abox = ABox()
+    abox.add_concept("PhDStudent", "Damian")
+    abox.add_concept("Graduate", "Damian")
+    return abox

@@ -1,0 +1,298 @@
+"""Tests for statistics, the external cost model, EDL and GDL."""
+
+import math
+
+import pytest
+
+from repro.cost.estimators import ExternalCoverCost, RDBMSCoverCost
+from repro.cost.model import ExternalCostModel
+from repro.cost.statistics import DataStatistics
+from repro.covers.cover import GeneralizedCover
+from repro.covers.safety import root_cover, single_fragment_cover
+from repro.dllite.parser import parse_query
+from repro.optimizer.edl import edl_search
+from repro.optimizer.gdl import gdl_search
+from repro.queries.evaluate import evaluate, evaluate_jucq
+from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.sql.translator import SQLTranslator
+from repro.storage.layouts import SimpleLayout
+from repro.storage.memory_backend import MemoryBackend
+
+
+@pytest.fixture
+def rich_abox(example1_abox):
+    # Widen the data so cost differences are meaningful.
+    for i in range(60):
+        example1_abox.add_role("worksWith", f"r{i}", f"r{(i + 1) % 60}")
+    for i in range(20):
+        example1_abox.add_role("supervisedBy", f"s{i}", f"r{i % 5}")
+        example1_abox.add_concept("PhDStudent", f"s{i}")
+    return example1_abox
+
+
+class TestStatistics:
+    def test_from_abox(self, rich_abox):
+        stats = DataStatistics.from_abox(rich_abox)
+        assert stats.cardinality("worksWith") == 61
+        assert stats.cardinality("PhDStudent") == 20
+        assert stats.distinct("worksWith", 0) >= 60
+        assert stats.total_facts == len(rich_abox)
+
+    def test_missing_predicate_is_empty(self, rich_abox):
+        stats = DataStatistics.from_abox(rich_abox)
+        assert stats.cardinality("Nothing") == 0
+        assert stats.distinct("Nothing", 0) == 1  # floor avoids div-by-zero
+
+
+class TestExternalCostModel:
+    @pytest.fixture
+    def model(self, rich_abox):
+        return ExternalCostModel(DataStatistics.from_abox(rich_abox))
+
+    def test_single_atom_cost_tracks_cardinality(self, model):
+        small = model.estimate(parse_query("q(x) <- PhDStudent(x)"))
+        large = model.estimate(parse_query("q(x, y) <- worksWith(x, y)"))
+        assert large > small
+
+    def test_constant_enables_index_access(self, model):
+        scan = model.estimate(parse_query("q(x, y) <- worksWith(x, y)"))
+        probe = model.estimate(parse_query("q(y) <- worksWith(Ioana, y)"))
+        assert probe < scan
+
+    def test_join_costs_more_than_parts(self, model):
+        join = model.estimate(
+            parse_query("q(x) <- PhDStudent(x), worksWith(x, y)")
+        )
+        part = model.estimate(parse_query("q(x) <- PhDStudent(x)"))
+        assert join > part
+
+    def test_ucq_cost_roughly_additive(self, model, example1_tbox):
+        query = parse_query("q(x) <- PhDStudent(x), worksWith(y, x)")
+        ucq = reformulate_to_ucq(query, example1_tbox, minimize=True)
+        ucq_cost = model.estimate(ucq)
+        max_disjunct = max(model.estimate(cq) for cq in ucq.disjuncts)
+        assert ucq_cost > max_disjunct
+
+    def test_rows_estimate_positive(self, model):
+        rows = model.estimated_rows(parse_query("q(x, y) <- worksWith(x, y)"))
+        assert rows > 0
+
+    def test_jucq_estimate_includes_materialization(
+        self, model, example1_tbox
+    ):
+        from repro.covers.reformulate import cover_based_reformulation
+
+        query = parse_query("q(x) <- PhDStudent(x), worksWith(y, x)")
+        cover = single_fragment_cover(query)
+        jucq = cover_based_reformulation(cover, example1_tbox)
+        assert model.estimate(jucq) > 0
+
+
+class TestEstimators:
+    @pytest.fixture
+    def query(self):
+        return parse_query("q(x) <- PhDStudent(x), worksWith(y, x)")
+
+    def test_external_estimator_memoizes(self, query, example1_tbox, rich_abox):
+        model = ExternalCostModel(DataStatistics.from_abox(rich_abox))
+        estimator = ExternalCoverCost(example1_tbox, model)
+        cover = root_cover(query, example1_tbox)
+        first = estimator.estimate(cover)
+        second = estimator.estimate(cover)
+        assert first == second
+        assert estimator.calls == 1
+
+    def test_rdbms_estimator_prices_with_backend(
+        self, query, example1_tbox, rich_abox
+    ):
+        layout = SimpleLayout()
+        backend = MemoryBackend()
+        backend.load(layout.build(rich_abox))
+        estimator = RDBMSCoverCost(
+            example1_tbox, backend, SQLTranslator(layout)
+        )
+        cost = estimator.estimate(root_cover(query, example1_tbox))
+        assert cost > 0
+
+    def test_rdbms_estimator_prices_oversized_at_infinity(
+        self, query, example1_tbox, rich_abox
+    ):
+        layout = SimpleLayout()
+        backend = MemoryBackend(max_statement_length=200)
+        backend.load(layout.build(rich_abox))
+        estimator = RDBMSCoverCost(
+            example1_tbox, backend, SQLTranslator(layout)
+        )
+        assert estimator.estimate(single_fragment_cover(query)) == math.inf
+
+
+class TestGDL:
+    @pytest.fixture
+    def query(self):
+        return parse_query(
+            "q(x) <- PhDStudent(x), supervisedBy(x, y), worksWith(z, y)"
+        )
+
+    @pytest.fixture
+    def estimator(self, example1_tbox, rich_abox):
+        model = ExternalCostModel(DataStatistics.from_abox(rich_abox))
+        return ExternalCoverCost(example1_tbox, model)
+
+    def test_gdl_returns_valid_cover(self, query, example1_tbox, estimator):
+        result = gdl_search(query, example1_tbox, estimator)
+        assert isinstance(result.cover, GeneralizedCover)
+        assert result.cost < math.inf
+        assert result.cost_estimations >= 1
+
+    def test_gdl_never_worse_than_root(self, query, example1_tbox, estimator):
+        root = GeneralizedCover.from_cover(root_cover(query, example1_tbox))
+        root_cost = estimator.estimate(root)
+        result = gdl_search(query, example1_tbox, estimator)
+        assert result.cost <= root_cost
+
+    def test_gdl_reformulation_is_equivalent(
+        self, query, example1_tbox, estimator, rich_abox
+    ):
+        result = gdl_search(query, example1_tbox, estimator)
+        jucq = estimator.reformulate(result.cover)
+        reference = evaluate(
+            reformulate_to_ucq(query, example1_tbox), rich_abox.fact_store()
+        )
+        assert evaluate_jucq(jucq, rich_abox.fact_store()) == reference
+
+    def test_time_budget_stops_early(self, query, example1_tbox, estimator):
+        result = gdl_search(
+            query, example1_tbox, estimator, time_budget_seconds=0.0
+        )
+        # With a zero budget the search stops during the first sweep but
+        # still returns the root cover.
+        assert result.cover is not None
+        assert result.hit_time_budget or result.total_covers_explored >= 1
+
+    def test_explored_counts_are_modest(self, query, example1_tbox, estimator):
+        # Table 6: GDL explores tens of covers, not thousands.
+        result = gdl_search(query, example1_tbox, estimator)
+        assert result.total_covers_explored < 100
+
+
+class TestEDL:
+    def test_edl_explores_whole_lattice(self, example1_tbox, rich_abox):
+        query = parse_query("q(x) <- PhDStudent(x), worksWith(y, x)")
+        model = ExternalCostModel(DataStatistics.from_abox(rich_abox))
+        estimator = ExternalCoverCost(example1_tbox, model)
+        result = edl_search(query, example1_tbox, estimator)
+        assert result.safe_covers_explored >= 1
+        assert result.cost < math.inf
+
+    def test_edl_at_least_as_good_as_gdl(self, example1_tbox, rich_abox):
+        query = parse_query(
+            "q(x) <- PhDStudent(x), supervisedBy(x, y), worksWith(z, y)"
+        )
+        model = ExternalCostModel(DataStatistics.from_abox(rich_abox))
+        edl_estimator = ExternalCoverCost(example1_tbox, model)
+        gdl_estimator = ExternalCoverCost(example1_tbox, model)
+        edl_result = edl_search(query, example1_tbox, edl_estimator)
+        gdl_result = gdl_search(query, example1_tbox, gdl_estimator)
+        assert edl_result.cost <= gdl_result.cost
+
+    def test_generalized_limit_respected(self, example1_tbox, rich_abox):
+        query = parse_query(
+            "q(x) <- PhDStudent(x), supervisedBy(x, y), worksWith(z, y)"
+        )
+        model = ExternalCostModel(DataStatistics.from_abox(rich_abox))
+        estimator = ExternalCoverCost(example1_tbox, model)
+        result = edl_search(
+            query, example1_tbox, estimator, generalized_limit=5
+        )
+        assert result.generalized_covers_explored <= 5
+
+
+class TestOBDASystem:
+    TBOX = """
+    role worksWith
+    role supervisedBy
+    PhDStudent <= Researcher
+    exists worksWith <= Researcher
+    exists worksWith- <= Researcher
+    worksWith <= worksWith-
+    supervisedBy <= worksWith
+    exists supervisedBy <= PhDStudent
+    PhDStudent <= not exists supervisedBy-
+    """
+    ABOX = """
+    worksWith(Ioana, Francois)
+    supervisedBy(Damian, Ioana)
+    supervisedBy(Damian, Francois)
+    """
+
+    @pytest.mark.parametrize("strategy", ["ucq", "croot", "gdl", "edl"])
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_all_strategies_agree(self, strategy, backend):
+        from repro.obda.system import OBDASystem
+
+        system = OBDASystem.from_text(self.TBOX, self.ABOX, backend=backend)
+        report = system.answer(
+            "q(x) <- PhDStudent(x), worksWith(y, x)", strategy=strategy
+        )
+        assert report.answers == {("Damian",)}
+
+    def test_rdbms_cost_mode(self):
+        from repro.obda.system import OBDASystem
+
+        system = OBDASystem.from_text(self.TBOX, self.ABOX)
+        report = system.answer(
+            "q(x) <- PhDStudent(x), worksWith(y, x)",
+            strategy="gdl",
+            cost="rdbms",
+        )
+        assert report.answers == {("Damian",)}
+
+    def test_rdf_layout_end_to_end(self):
+        from repro.obda.system import OBDASystem
+
+        system = OBDASystem.from_text(
+            self.TBOX, self.ABOX, layout="rdf", rdf_width=4
+        )
+        report = system.answer(
+            "q(x) <- PhDStudent(x), worksWith(y, x)", strategy="ucq"
+        )
+        assert report.answers == {("Damian",)}
+
+    def test_uscq_reformulation_mode(self):
+        from repro.obda.system import OBDASystem
+
+        system = OBDASystem.from_text(self.TBOX, self.ABOX)
+        report = system.answer(
+            "q(x) <- PhDStudent(x), worksWith(y, x)",
+            strategy="croot",
+            use_uscq=True,
+        )
+        assert report.answers == {("Damian",)}
+
+    def test_boolean_query(self):
+        from repro.obda.system import OBDASystem
+
+        system = OBDASystem.from_text(self.TBOX, self.ABOX)
+        positive = system.answer("q() <- PhDStudent(Damian)", strategy="ucq")
+        assert positive.answers == {()}
+        negative = system.answer("q() <- PhDStudent(Ioana)", strategy="ucq")
+        assert negative.answers == set()
+
+    def test_consistency_gate(self):
+        from repro.dllite.kb import InconsistentKBError
+        from repro.obda.system import OBDASystem
+
+        bad_abox = self.ABOX + "\nsupervisedBy(Ioana, Damian)\n"
+        with pytest.raises(InconsistentKBError):
+            OBDASystem.from_text(self.TBOX, bad_abox, check_consistency=True)
+
+    def test_report_carries_timings_and_sql(self):
+        from repro.obda.system import OBDASystem
+
+        system = OBDASystem.from_text(self.TBOX, self.ABOX)
+        report = system.answer(
+            "q(x) <- PhDStudent(x), worksWith(y, x)", strategy="gdl"
+        )
+        assert report.choice.sql.startswith(("WITH", "SELECT"))
+        assert report.total_seconds >= 0
+        assert report.choice.search is not None

@@ -1,0 +1,136 @@
+"""Unit tests for the CQ dialect: structure, graphs, canonicalization."""
+
+import pytest
+
+from repro.queries.atoms import concept_atom, role_atom
+from repro.queries.cq import CQ
+from repro.queries.substitution import Substitution
+from repro.queries.terms import Constant, Variable
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def q_paper_example3() -> CQ:
+    """q(x) <- PhDStudent(x) AND worksWith(y, x)."""
+    return CQ(
+        head=(X,),
+        atoms=(concept_atom("PhDStudent", X), role_atom("worksWith", Y, X)),
+    )
+
+
+class TestConstruction:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            CQ(head=(X,), atoms=())
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError):
+            CQ(head=(Z,), atoms=(concept_atom("A", X),))
+
+    def test_constant_in_head_allowed(self):
+        query = CQ(head=(Constant("a"),), atoms=(concept_atom("A", X),))
+        assert query.head == (Constant("a"),)
+
+    def test_boolean_query_allowed(self):
+        query = CQ(head=(), atoms=(concept_atom("A", X),))
+        assert query.head == ()
+
+
+class TestVariableStructure:
+    def test_variables(self):
+        query = q_paper_example3()
+        assert query.variables() == {X, Y}
+
+    def test_head_and_existential_variables(self):
+        query = q_paper_example3()
+        assert query.head_variables() == {X}
+        assert query.existential_variables() == {Y}
+
+    def test_unbound_variables(self):
+        # y occurs once and is existential -> unbound; x is distinguished.
+        query = q_paper_example3()
+        assert query.unbound_variables() == {Y}
+
+    def test_repeated_existential_is_bound(self):
+        query = CQ(
+            head=(X,),
+            atoms=(role_atom("r", X, Y), role_atom("s", Y, Z)),
+        )
+        assert query.unbound_variables() == {Z}
+
+    def test_occurrence_counts(self):
+        query = CQ(
+            head=(X,),
+            atoms=(role_atom("r", X, Y), role_atom("s", Y, X)),
+        )
+        assert query.occurrence_counts() == {X: 2, Y: 2}
+
+
+class TestGraphStructure:
+    def test_connected_query(self):
+        assert q_paper_example3().is_connected()
+
+    def test_disconnected_query(self):
+        query = CQ(
+            head=(X, Z),
+            atoms=(concept_atom("A", X), concept_atom("B", Z)),
+        )
+        assert not query.is_connected()
+        assert len(query.connected_components()) == 2
+
+    def test_components_via_shared_variable(self):
+        query = CQ(
+            head=(X,),
+            atoms=(role_atom("r", X, Y), role_atom("s", Y, Z), concept_atom("A", W), role_atom("t", W, W)),
+        )
+        components = query.connected_components()
+        assert sorted(len(c) for c in components) == [2, 2]
+
+
+class TestTransformation:
+    def test_apply_substitution(self):
+        query = q_paper_example3()
+        result = query.apply(Substitution({Y: X}))
+        assert result.atoms[1] == role_atom("worksWith", X, X)
+
+    def test_dedup_atoms(self):
+        query = CQ(
+            head=(X,),
+            atoms=(concept_atom("A", X), concept_atom("A", X)),
+        )
+        assert len(query.dedup_atoms().atoms) == 1
+
+    def test_rename_apart_preserves_head(self):
+        query = q_paper_example3()
+        renamed = query.rename_apart({Y})
+        assert renamed.head == (X,)
+        assert renamed.atoms[1].args[1] == X
+        assert renamed.atoms[1].args[0] != Y
+
+
+class TestCanonicalKey:
+    def test_isomorphic_queries_share_key(self):
+        q1 = CQ(head=(X,), atoms=(role_atom("r", X, Y),))
+        q2 = CQ(head=(Z,), atoms=(role_atom("r", Z, W),))
+        assert q1.canonical_key() == q2.canonical_key()
+
+    def test_head_position_matters(self):
+        q1 = CQ(head=(X,), atoms=(role_atom("r", X, Y),))
+        q2 = CQ(head=(Y,), atoms=(role_atom("r", X, Y),))
+        assert q1.canonical_key() != q2.canonical_key()
+
+    def test_different_predicates_differ(self):
+        q1 = CQ(head=(X,), atoms=(role_atom("r", X, Y),))
+        q2 = CQ(head=(X,), atoms=(role_atom("s", X, Y),))
+        assert q1.canonical_key() != q2.canonical_key()
+
+    def test_atom_order_irrelevant(self):
+        a1, a2 = concept_atom("A", X), role_atom("r", X, Y)
+        q1 = CQ(head=(X,), atoms=(a1, a2))
+        q2 = CQ(head=(X,), atoms=(a2, a1))
+        assert q1.canonical_key() == q2.canonical_key()
+
+    def test_constants_pin_key(self):
+        q1 = CQ(head=(), atoms=(role_atom("r", Constant("a"), X),))
+        q2 = CQ(head=(), atoms=(role_atom("r", Constant("b"), X),))
+        assert q1.canonical_key() != q2.canonical_key()

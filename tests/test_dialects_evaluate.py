@@ -1,0 +1,214 @@
+"""Tests for UCQ/SCQ/USCQ/JUCQ dialects, expansion and the naive evaluator."""
+
+import pytest
+
+from repro.queries.atoms import concept_atom, role_atom
+from repro.queries.cq import CQ
+from repro.queries.evaluate import (
+    evaluate,
+    evaluate_cq,
+    evaluate_jucq,
+    evaluate_scq,
+    evaluate_ucq,
+    evaluate_uscq,
+)
+from repro.queries.jucq import JUCQ, JUSCQ
+from repro.queries.scq import SCQ, AtomUnion, USCQ
+from repro.queries.terms import Constant, Variable
+from repro.queries.ucq import UCQ
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+FACTS = {
+    "PhDStudent": {("Damian",)},
+    "Researcher": {("Ioana",), ("Francois",)},
+    "worksWith": {("Ioana", "Francois"), ("Damian", "Ioana")},
+    "supervisedBy": {("Damian", "Ioana"), ("Damian", "Francois")},
+}
+
+
+class TestEvaluateCQ:
+    def test_single_atom(self):
+        q = CQ(head=(X,), atoms=(concept_atom("PhDStudent", X),))
+        assert evaluate_cq(q, FACTS) == {("Damian",)}
+
+    def test_join(self):
+        # worksWith(x, z) AND supervisedBy(y, z): Ioana works with Francois
+        # who Damian is supervised by; Damian works with Ioana likewise.
+        q = CQ(
+            head=(X, Y),
+            atoms=(role_atom("worksWith", X, Z), role_atom("supervisedBy", Y, Z)),
+        )
+        assert evaluate_cq(q, FACTS) == {("Ioana", "Damian"), ("Damian", "Damian")}
+
+    def test_join_with_no_matches_is_empty(self):
+        q = CQ(
+            head=(X, Y),
+            atoms=(role_atom("worksWith", X, Z), role_atom("supervisedBy", Z, Y)),
+        )
+        assert evaluate_cq(q, FACTS) == set()
+
+    def test_constant_filter(self):
+        q = CQ(head=(Y,), atoms=(role_atom("supervisedBy", Constant("Damian"), Y),))
+        assert evaluate_cq(q, FACTS) == {("Ioana",), ("Francois",)}
+
+    def test_boolean_query_true(self):
+        q = CQ(head=(), atoms=(concept_atom("PhDStudent", X),))
+        assert evaluate_cq(q, FACTS) == {()}
+
+    def test_boolean_query_false(self):
+        q = CQ(head=(), atoms=(concept_atom("Professor", X),))
+        assert evaluate_cq(q, FACTS) == set()
+
+    def test_repeated_variable_forces_equality(self):
+        q = CQ(head=(X,), atoms=(role_atom("worksWith", X, X),))
+        assert evaluate_cq(q, FACTS) == set()
+
+    def test_missing_predicate_is_empty(self):
+        q = CQ(head=(X,), atoms=(concept_atom("Unknown", X),))
+        assert evaluate_cq(q, FACTS) == set()
+
+
+class TestUCQ:
+    def test_arity_mismatch_rejected(self):
+        q1 = CQ(head=(X,), atoms=(concept_atom("A", X),))
+        q2 = CQ(head=(X, Y), atoms=(role_atom("r", X, Y),))
+        with pytest.raises(ValueError):
+            UCQ((q1, q2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UCQ(())
+
+    def test_union_evaluation(self):
+        q1 = CQ(head=(X,), atoms=(concept_atom("PhDStudent", X),))
+        q2 = CQ(head=(X,), atoms=(concept_atom("Researcher", X),))
+        answers = evaluate_ucq(UCQ((q1, q2)), FACTS)
+        assert answers == {("Damian",), ("Ioana",), ("Francois",)}
+
+    def test_predicates(self):
+        q1 = CQ(head=(X,), atoms=(concept_atom("A", X),))
+        q2 = CQ(head=(X,), atoms=(role_atom("r", X, Y),))
+        assert UCQ((q1, q2)).predicates() == {"A", "r"}
+
+
+class TestJUCQ:
+    def make_jucq(self) -> JUCQ:
+        # Fragment 1 exports (x): PhDStudent(x) OR Researcher(x)
+        # Fragment 2 exports (x): exists y worksWith(x, y)
+        frag1 = UCQ(
+            (
+                CQ(head=(X,), atoms=(concept_atom("PhDStudent", X),)),
+                CQ(head=(X,), atoms=(concept_atom("Researcher", X),)),
+            )
+        )
+        frag2 = UCQ((CQ(head=(X,), atoms=(role_atom("worksWith", X, Y),)),))
+        return JUCQ(head=(X,), components=(frag1, frag2))
+
+    def test_join_on_shared_head_name(self):
+        answers = evaluate_jucq(self.make_jucq(), FACTS)
+        assert answers == {("Damian",), ("Ioana",)}
+
+    def test_expand_equals_direct_evaluation(self):
+        jucq = self.make_jucq()
+        expanded = UCQ(tuple(jucq.expand()))
+        assert evaluate_ucq(expanded, FACTS) == evaluate_jucq(jucq, FACTS)
+
+    def test_expansion_count_is_product(self):
+        assert len(self.make_jucq().expand()) == 2
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            JUCQ(head=(X,), components=())
+
+    def test_expand_renames_apart(self):
+        # Both components use the same existential variable name 'y'; the
+        # expansion must not conflate them.
+        frag1 = UCQ((CQ(head=(X,), atoms=(role_atom("worksWith", X, Y),)),))
+        frag2 = UCQ((CQ(head=(X,), atoms=(role_atom("supervisedBy", X, Y),)),))
+        jucq = JUCQ(head=(X,), components=(frag1, frag2))
+        combined = jucq.expand()[0]
+        works_with = [a for a in combined.atoms if a.predicate == "worksWith"][0]
+        supervised = [a for a in combined.atoms if a.predicate == "supervisedBy"][0]
+        assert works_with.args[1] != supervised.args[1]
+        # Only Damian has both an outgoing worksWith and supervisedBy edge.
+        assert evaluate_jucq(jucq, FACTS) == {("Damian",)}
+
+
+class TestSCQ:
+    def make_scq(self) -> SCQ:
+        block1 = AtomUnion(
+            (
+                CQ(head=(X,), atoms=(concept_atom("PhDStudent", X),)),
+                CQ(head=(X,), atoms=(concept_atom("Researcher", X),)),
+            )
+        )
+        block2 = AtomUnion(
+            (CQ(head=(X,), atoms=(role_atom("worksWith", X, Y),)),)
+        )
+        return SCQ(head=(X,), blocks=(block1, block2))
+
+    def test_atom_union_rejects_multi_atom(self):
+        multi = CQ(head=(X,), atoms=(concept_atom("A", X), concept_atom("B", X)))
+        with pytest.raises(ValueError):
+            AtomUnion((multi,))
+
+    def test_scq_evaluation(self):
+        assert evaluate_scq(self.make_scq(), FACTS) == {("Damian",), ("Ioana",)}
+
+    def test_scq_expand_matches(self):
+        scq = self.make_scq()
+        expanded = UCQ(tuple(scq.expand()))
+        assert evaluate_ucq(expanded, FACTS) == evaluate_scq(scq, FACTS)
+
+    def test_uscq_union(self):
+        scq = self.make_scq()
+        other = SCQ(
+            head=(X,),
+            blocks=(
+                AtomUnion(
+                    (CQ(head=(X,), atoms=(role_atom("supervisedBy", Y, X),)),)
+                ),
+            ),
+        )
+        uscq = USCQ((scq, other))
+        assert evaluate_uscq(uscq, FACTS) == {
+            ("Damian",),
+            ("Ioana",),
+            ("Francois",),
+        }
+
+    def test_juscq_expand_and_evaluate(self):
+        uscq1 = USCQ((self.make_scq(),))
+        uscq2 = USCQ(
+            (
+                SCQ(
+                    head=(X,),
+                    blocks=(
+                        AtomUnion(
+                            (
+                                CQ(
+                                    head=(X,),
+                                    atoms=(role_atom("supervisedBy", X, Y),),
+                                ),
+                            )
+                        ),
+                    ),
+                ),
+            )
+        )
+        juscq = JUSCQ(head=(X,), components=(uscq1, uscq2))
+        direct = evaluate(juscq, FACTS)
+        expanded = evaluate_ucq(UCQ(tuple(juscq.expand())), FACTS)
+        assert direct == expanded == {("Damian",)}
+
+
+class TestDispatch:
+    def test_evaluate_dispatches_all_dialects(self):
+        cq = CQ(head=(X,), atoms=(concept_atom("PhDStudent", X),))
+        assert evaluate(cq, FACTS) == {("Damian",)}
+        assert evaluate(UCQ((cq,)), FACTS) == {("Damian",)}
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            evaluate("not a query", FACTS)  # type: ignore[arg-type]

@@ -1,0 +1,224 @@
+"""Tests for the DL-LiteR package: vocabulary, axioms (Table 3), TBox, KB.
+
+The paper's Examples 1 and 2 are encoded verbatim.
+"""
+
+import pytest
+
+from repro.dllite.abox import ABox, ConceptAssertion, RoleAssertion
+from repro.dllite.axioms import (
+    ConceptInclusion,
+    RoleInclusion,
+    axiom_to_fol,
+)
+from repro.dllite.kb import KnowledgeBase, InconsistentKBError, violation_query
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import (
+    AtomicConcept as C,
+    Exists,
+    Role,
+    predicate_name,
+)
+
+
+class TestVocabulary:
+    def test_role_inversion_is_involutive(self):
+        r = Role("worksWith")
+        assert r.inverted().inverted() == r
+        assert r.inverted().inverse
+
+    def test_str_renderings(self):
+        assert str(Role("r", inverse=True)) == "r-"
+        assert str(Exists(Role("r"))) == "exists r"
+        assert str(Exists(Role("r", True))) == "exists r-"
+        assert str(C("A")) == "A"
+
+    def test_predicate_name_strips_structure(self):
+        assert predicate_name(C("A")) == "A"
+        assert predicate_name(Role("r", True)) == "r"
+        assert predicate_name(Exists(Role("r", True))) == "r"
+
+
+class TestAxiomFOL:
+    """Each of the 11 positive constraint forms of Table 3."""
+
+    def test_form_1_concept_to_concept(self):
+        ax = ConceptInclusion(C("A"), C("Ap"))
+        assert axiom_to_fol(ax) == "forall x [A(x) => Ap(x)]"
+
+    def test_form_2_concept_to_exists(self):
+        ax = ConceptInclusion(C("A"), Exists(Role("R")))
+        assert axiom_to_fol(ax) == "forall x [A(x) => exists z R(x, z)]"
+
+    def test_form_3_concept_to_exists_inverse(self):
+        ax = ConceptInclusion(C("A"), Exists(Role("R", True)))
+        assert axiom_to_fol(ax) == "forall x [A(x) => exists z R(z, x)]"
+
+    def test_form_4_exists_to_concept(self):
+        ax = ConceptInclusion(Exists(Role("R")), C("A"))
+        assert axiom_to_fol(ax) == "forall x [exists y R(x, y) => A(x)]"
+
+    def test_form_5_exists_inverse_to_concept(self):
+        ax = ConceptInclusion(Exists(Role("R", True)), C("A"))
+        assert axiom_to_fol(ax) == "forall x [exists y R(y, x) => A(x)]"
+
+    def test_form_6_exists_to_exists(self):
+        ax = ConceptInclusion(Exists(Role("Rp")), Exists(Role("R")))
+        assert axiom_to_fol(ax) == "forall x [exists y Rp(x, y) => exists z R(x, z)]"
+
+    def test_form_7_exists_to_exists_inverse(self):
+        ax = ConceptInclusion(Exists(Role("Rp")), Exists(Role("R", True)))
+        assert axiom_to_fol(ax) == "forall x [exists y Rp(x, y) => exists z R(z, x)]"
+
+    def test_form_8_exists_inverse_to_exists(self):
+        ax = ConceptInclusion(Exists(Role("Rp", True)), Exists(Role("R")))
+        assert axiom_to_fol(ax) == "forall x [exists y Rp(y, x) => exists z R(x, z)]"
+
+    def test_form_9_exists_inverse_to_exists_inverse(self):
+        ax = ConceptInclusion(Exists(Role("Rp", True)), Exists(Role("R", True)))
+        assert axiom_to_fol(ax) == "forall x [exists y Rp(y, x) => exists z R(z, x)]"
+
+    def test_form_10_role_to_inverse(self):
+        ax = RoleInclusion(Role("R"), Role("Rp", True))
+        assert axiom_to_fol(ax) == "forall x, y [R(x, y) => Rp(y, x)]"
+
+    def test_form_11_role_to_role(self):
+        ax = RoleInclusion(Role("R"), Role("Rp"))
+        assert axiom_to_fol(ax) == "forall x, y [R(x, y) => Rp(x, y)]"
+
+    def test_negative_rendering(self):
+        ax = ConceptInclusion(C("A"), C("B"), negative=True)
+        assert axiom_to_fol(ax) == "forall x [A(x) => not B(x)]"
+
+
+class TestTBox:
+    def test_deduplication(self, example1_tbox):
+        duplicated = TBox(list(example1_tbox.axioms) * 2)
+        assert len(duplicated) == len(example1_tbox)
+
+    def test_signature(self, example1_tbox):
+        assert example1_tbox.concept_names() == {"PhDStudent", "Researcher"}
+        assert example1_tbox.role_names() == {"worksWith", "supervisedBy"}
+
+    def test_positive_negative_split(self, example1_tbox):
+        assert len(example1_tbox.positive_axioms()) == 6
+        assert len(example1_tbox.negative_axioms()) == 1
+
+    def test_rhs_concept_index(self, example1_tbox):
+        into_phd = example1_tbox.inclusions_into_concept(C("PhDStudent"))
+        assert len(into_phd) == 1
+        assert into_phd[0].lhs == Exists(Role("supervisedBy"))
+
+    def test_rhs_role_index(self, example1_tbox):
+        into_works_with = example1_tbox.inclusions_into_role("worksWith")
+        assert len(into_works_with) == 2  # T4 and T5
+
+    def test_super_concepts_transitive(self, example1_tbox):
+        supers = example1_tbox.super_concepts(Exists(Role("supervisedBy")))
+        assert C("PhDStudent") in supers  # T6
+        assert C("Researcher") in supers  # T6 then T1
+
+    def test_super_roles_include_inverse_variants(self, example1_tbox):
+        # T5: supervisedBy <= worksWith also entails the inverse inclusion.
+        supers = example1_tbox.super_roles(Role("supervisedBy", True))
+        assert Role("worksWith", True) in supers
+        # and via T4 (worksWith <= worksWith-) inverted: worksWith- <= worksWith.
+        assert Role("worksWith") in supers
+
+    def test_role_inclusion_lifts_to_exists(self, example1_tbox):
+        # supervisedBy <= worksWith entails exists supervisedBy <= exists worksWith.
+        assert example1_tbox.entails_concept_inclusion(
+            Exists(Role("supervisedBy")), Exists(Role("worksWith"))
+        )
+
+    def test_example2_negative_entailment(self, example1_tbox):
+        # K |= exists supervisedBy <= not exists supervisedBy- (T6 + T7).
+        assert example1_tbox.entails_concept_inclusion(
+            Exists(Role("supervisedBy")),
+            Exists(Role("supervisedBy", True)),
+            negative=True,
+        )
+
+    def test_non_entailed_negative(self, example1_tbox):
+        assert not example1_tbox.entails_concept_inclusion(
+            C("Researcher"), Exists(Role("worksWith")), negative=True
+        )
+
+    def test_statistics(self, example1_tbox):
+        stats = example1_tbox.statistics()
+        assert stats["axioms"] == 7
+        assert stats["role_inclusions"] == 2
+        assert stats["negative"] == 1
+
+
+class TestABox:
+    def test_len_and_contains(self, example1_abox):
+        assert len(example1_abox) == 3
+        assert RoleAssertion("worksWith", "Ioana", "Francois") in example1_abox
+        assert ConceptAssertion("PhDStudent", "Damian") not in example1_abox
+
+    def test_individuals(self, example1_abox):
+        assert example1_abox.individuals() == {"Ioana", "Francois", "Damian"}
+
+    def test_fact_store_shape(self, example1_abox):
+        store = example1_abox.fact_store()
+        assert store["supervisedBy"] == {
+            ("Damian", "Ioana"),
+            ("Damian", "Francois"),
+        }
+
+    def test_add_is_idempotent(self):
+        abox = ABox()
+        abox.add_concept("A", "a")
+        abox.add_concept("A", "a")
+        assert len(abox) == 1
+
+    def test_deterministic_assertion_order(self, example1_abox):
+        listed = list(example1_abox.assertions())
+        assert listed == sorted(listed, key=str)
+
+
+class TestKnowledgeBase:
+    def test_example1_is_consistent(self, example1_tbox, example1_abox):
+        kb = KnowledgeBase(example1_tbox, example1_abox)
+        assert kb.is_consistent()
+        kb.check_consistency()  # should not raise
+
+    def test_example2_entailed_assertions(self, example1_tbox, example1_abox):
+        kb = KnowledgeBase(example1_tbox, example1_abox)
+        # worksWith(Francois, Ioana) via T4 + A1.
+        assert kb.entails_assertion(RoleAssertion("worksWith", "Francois", "Ioana"))
+        # PhDStudent(Damian) via A2 + T6.
+        assert kb.entails_assertion(ConceptAssertion("PhDStudent", "Damian"))
+        # worksWith(Francois, Damian) via A3 + T5 + T4.
+        assert kb.entails_assertion(RoleAssertion("worksWith", "Francois", "Damian"))
+
+    def test_non_entailed_assertion(self, example1_tbox, example1_abox):
+        kb = KnowledgeBase(example1_tbox, example1_abox)
+        assert not kb.entails_assertion(
+            RoleAssertion("supervisedBy", "Ioana", "Damian")
+        )
+
+    def test_inconsistency_detected(self, example1_tbox, example1_abox):
+        # Make a PhD student supervise someone: violates T7 (PhDStudent is
+        # disjoint from exists supervisedBy-).
+        example1_abox.add_role("supervisedBy", "Ioana", "Damian")
+        kb = KnowledgeBase(example1_tbox, example1_abox)
+        assert not kb.is_consistent()
+        with pytest.raises(InconsistentKBError):
+            kb.check_consistency()
+
+    def test_violation_query_shape(self, example1_tbox):
+        negative = example1_tbox.negative_axioms()[0]
+        query = violation_query(negative)
+        assert query.head == ()
+        assert len(query.atoms) == 2
+
+    def test_violation_query_requires_negative(self, example1_tbox):
+        positive = example1_tbox.positive_axioms()[0]
+        with pytest.raises(ValueError):
+            violation_query(positive)
+
+    def test_entails_dispatches_to_tbox(self, example1_tbox, example1_abox):
+        kb = KnowledgeBase(example1_tbox, example1_abox)
+        assert kb.entails(ConceptInclusion(C("PhDStudent"), C("Researcher")))

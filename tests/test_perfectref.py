@@ -1,0 +1,166 @@
+"""PerfectRef reformulation tests, pinned to the paper's Examples 4 and 7."""
+
+import pytest
+
+from repro.dllite.parser import parse_query
+from repro.queries.atoms import concept_atom, role_atom
+from repro.queries.cq import CQ
+from repro.queries.evaluate import evaluate_ucq
+from repro.queries.terms import Variable
+from repro.reformulation.perfectref import perfectref, reformulate_to_ucq
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def keys(cqs):
+    return {cq.canonical_key() for cq in cqs}
+
+
+class TestExample4:
+    """q(x) <- PhDStudent(x), worksWith(y, x) against the Example 1 TBox."""
+
+    @pytest.fixture
+    def query(self) -> CQ:
+        return parse_query("q(x) <- PhDStudent(x), worksWith(y, x)")
+
+    def test_ten_distinct_disjuncts(self, query, example1_tbox):
+        result = perfectref(query, example1_tbox)
+        assert len(result) == 10
+
+    def test_table5_disjuncts_present(self, query, example1_tbox):
+        result_keys = keys(perfectref(query, example1_tbox))
+        expected = [
+            "q(x) <- PhDStudent(x), worksWith(y, x)",    # q1
+            "q(x) <- PhDStudent(x), worksWith(x, y)",    # q2
+            "q(x) <- PhDStudent(x), supervisedBy(y, x)", # q3
+            "q(x) <- PhDStudent(x), supervisedBy(x, y)", # q4
+            "q(x) <- supervisedBy(x, z), worksWith(y, x)",    # q5
+            "q(x) <- supervisedBy(x, z), worksWith(x, y)",    # q6
+            "q(x) <- supervisedBy(x, z), supervisedBy(y, x)", # q7
+            "q(x) <- supervisedBy(x, z), supervisedBy(x, y)", # q8
+            "q(x) <- supervisedBy(x, x)",                # q9
+            "q(x) <- supervisedBy(x, y)",                # q10
+        ]
+        for text in expected:
+            assert parse_query(text).canonical_key() in result_keys, text
+
+    def test_minimized_reformulation(self, query, example1_tbox):
+        # Paper 2.3: the minimal UCQ is q1, q2, q3 and q10 (q4-q9 are
+        # contained in q10).
+        minimized = reformulate_to_ucq(query, example1_tbox, minimize=True)
+        assert len(minimized) == 4
+        assert parse_query("q(x) <- supervisedBy(x, y)").canonical_key() in keys(
+            minimized.disjuncts
+        )
+
+    def test_example3_answer(self, query, example1_tbox, example1_abox):
+        # ans(q, K) = {Damian}; plain evaluation of q yields nothing.
+        from repro.queries.evaluate import evaluate_cq
+
+        facts = example1_abox.fact_store()
+        assert evaluate_cq(query, facts) == set()
+        ucq = reformulate_to_ucq(query, example1_tbox)
+        assert evaluate_ucq(ucq, facts) == {("Damian",)}
+
+
+class TestExample7:
+    """Running example of Section 4: 4-disjunct UCQ."""
+
+    @pytest.fixture
+    def query(self) -> CQ:
+        return parse_query(
+            "q(x) <- PhDStudent(x), worksWith(x, y), supervisedBy(z, y)"
+        )
+
+    def test_four_disjuncts(self, query, example7_tbox):
+        result = perfectref(query, example7_tbox)
+        assert len(result) == 4
+
+    def test_expected_disjuncts(self, query, example7_tbox):
+        result_keys = keys(perfectref(query, example7_tbox))
+        expected = [
+            "q(x) <- PhDStudent(x), worksWith(x, y), supervisedBy(z, y)",     # q1
+            "q(x) <- PhDStudent(x), supervisedBy(x, y), supervisedBy(z, y)",  # q2
+            "q(x) <- PhDStudent(x), supervisedBy(x, y)",                      # q3
+            "q(x) <- PhDStudent(x), Graduate(x)",                             # q4
+        ]
+        for text in expected:
+            assert parse_query(text).canonical_key() in result_keys, text
+
+    def test_answer_is_damian(self, query, example7_tbox, example7_abox):
+        ucq = reformulate_to_ucq(query, example7_tbox)
+        assert evaluate_ucq(ucq, example7_abox.fact_store()) == {("Damian",)}
+
+    def test_q4_requires_the_unification_chain(self, query, example7_tbox):
+        # q4 = PhDStudent(x) AND Graduate(x) only arises after the mgu step
+        # (q3) enables the backward application of Graduate <= exists
+        # supervisedBy. Its presence certifies the reduce step works.
+        result_keys = keys(perfectref(query, example7_tbox))
+        q4 = parse_query("q(x) <- PhDStudent(x), Graduate(x)")
+        assert q4.canonical_key() in result_keys
+
+
+class TestReformulationGeneralities:
+    def test_input_query_always_first(self, example1_tbox):
+        query = parse_query("q(x) <- Researcher(x)")
+        result = perfectref(query, example1_tbox)
+        assert result[0].canonical_key() == query.canonical_key()
+
+    def test_empty_tbox_is_identity(self):
+        from repro.dllite.tbox import TBox
+
+        query = parse_query("q(x) <- PhDStudent(x), worksWith(y, x)")
+        result = perfectref(query, TBox())
+        assert len(result) == 1
+
+    def test_researcher_query_expansion(self, example1_tbox):
+        # Researcher(x) expands through T1, T2, T3, then T5/T4 variants and
+        # the T6 specialization of PhDStudent.
+        query = parse_query("q(x) <- Researcher(x)")
+        result = perfectref(query, example1_tbox)
+        result_keys = keys(result)
+        for text in [
+            "q(x) <- Researcher(x)",
+            "q(x) <- PhDStudent(x)",
+            "q(x) <- worksWith(x, y)",
+            "q(x) <- worksWith(y, x)",
+            "q(x) <- supervisedBy(x, y)",
+            "q(x) <- supervisedBy(y, x)",
+        ]:
+            assert parse_query(text).canonical_key() in result_keys, text
+
+    def test_constants_survive_reformulation(self, example1_tbox):
+        query = parse_query("q() <- PhDStudent(Damian)")
+        result = perfectref(query, example1_tbox)
+        specialized = [cq for cq in result if cq.atoms[0].predicate == "supervisedBy"]
+        assert specialized, "expected backward application of T6 to a constant"
+
+    def test_max_queries_bounds_fixpoint(self, example1_tbox):
+        query = parse_query("q(x) <- Researcher(x)")
+        bounded = perfectref(query, example1_tbox, max_queries=2)
+        assert len(bounded) <= 2
+
+    def test_soundness_over_abox(self, example1_tbox, example1_abox):
+        # Every disjunct's answers are answers of the certain-answer set
+        # computed by the chase oracle.
+        from repro.dllite.kb import KnowledgeBase
+        from repro.dllite.saturation import certain_answers
+        from repro.queries.evaluate import evaluate_cq
+
+        query = parse_query("q(x) <- Researcher(x)")
+        kb = KnowledgeBase(example1_tbox, example1_abox)
+        truth = certain_answers(query, kb)
+        facts = example1_abox.fact_store()
+        for disjunct in perfectref(query, example1_tbox):
+            assert evaluate_cq(disjunct, facts) <= truth
+
+    def test_completeness_matches_chase(self, example1_tbox, example1_abox):
+        from repro.dllite.kb import KnowledgeBase
+        from repro.dllite.saturation import certain_answers
+
+        query = parse_query("q(x) <- Researcher(x)")
+        kb = KnowledgeBase(example1_tbox, example1_abox)
+        truth = certain_answers(query, kb)
+        ucq = reformulate_to_ucq(query, example1_tbox)
+        assert evaluate_ucq(ucq, example1_abox.fact_store()) == truth
+        assert truth == {("Ioana",), ("Francois",), ("Damian",)}

@@ -1,0 +1,302 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+* Theorem 1/3: cover-based JUCQ reformulations answer exactly like the
+  UCQ reformulation, for random KBs, queries and safe/generalized covers;
+* PerfectRef soundness & completeness against the chase oracle on the
+  chase-terminating fragment (no existential right-hand sides);
+* USCQ factorization is answer-preserving;
+* containment is reflexive and transitive; minimization preserves
+  equivalence; canonical keys are renaming-invariant;
+* SQL translation is differential-correct across both backends.
+"""
+
+from __future__ import annotations
+
+import random as stdlib_random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.covers.lattice import enumerate_safe_covers
+from repro.covers.generalized import enumerate_generalized_covers
+from repro.covers.reformulate import cover_based_reformulation
+from repro.dllite.abox import ABox
+from repro.dllite.axioms import ConceptInclusion, RoleInclusion
+from repro.dllite.kb import KnowledgeBase
+from repro.dllite.saturation import certain_answers
+from repro.dllite.tbox import TBox
+from repro.dllite.vocabulary import AtomicConcept, Exists, Role
+from repro.queries.atoms import Atom, concept_atom, role_atom
+from repro.queries.cq import CQ
+from repro.queries.evaluate import evaluate_cq, evaluate_jucq, evaluate_ucq, evaluate_uscq
+from repro.queries.homomorphism import is_contained_in
+from repro.queries.minimize import minimize_cq, minimize_ucq
+from repro.queries.substitution import Substitution
+from repro.queries.terms import Constant, Variable
+from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.reformulation.uscq import factorize_ucq
+
+CONCEPTS = [f"A{i}" for i in range(4)]
+ROLES = [f"r{i}" for i in range(3)]
+INDIVIDUALS = [f"c{i}" for i in range(6)]
+VARIABLES = [Variable(n) for n in ("x", "y", "z", "w")]
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def _basic_concepts():
+    atoms = [AtomicConcept(c) for c in CONCEPTS]
+    exists = [Exists(Role(r, inv)) for r in ROLES for inv in (False, True)]
+    return st.sampled_from(atoms + exists)
+
+
+def _signed_roles():
+    return st.sampled_from([Role(r, inv) for r in ROLES for inv in (False, True)])
+
+
+@st.composite
+def tboxes(draw, allow_existentials: bool = True):
+    axioms = []
+    for _ in range(draw(st.integers(0, 6))):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            lhs = draw(_basic_concepts())
+            rhs = draw(_basic_concepts())
+            if not allow_existentials and isinstance(rhs, Exists):
+                rhs = AtomicConcept(draw(st.sampled_from(CONCEPTS)))
+            if lhs != rhs:
+                axioms.append(ConceptInclusion(lhs, rhs))
+        elif kind == 1:
+            lhs = draw(_signed_roles())
+            rhs = draw(_signed_roles())
+            if lhs.name != rhs.name:
+                axioms.append(RoleInclusion(lhs, rhs))
+        else:
+            lhs = AtomicConcept(draw(st.sampled_from(CONCEPTS)))
+            rhs = Exists(draw(_signed_roles()))
+            if allow_existentials:
+                axioms.append(ConceptInclusion(lhs, rhs))
+    return TBox(axioms)
+
+
+@st.composite
+def aboxes(draw):
+    abox = ABox()
+    for _ in range(draw(st.integers(1, 10))):
+        if draw(st.booleans()):
+            abox.add_concept(
+                draw(st.sampled_from(CONCEPTS)), draw(st.sampled_from(INDIVIDUALS))
+            )
+        else:
+            abox.add_role(
+                draw(st.sampled_from(ROLES)),
+                draw(st.sampled_from(INDIVIDUALS)),
+                draw(st.sampled_from(INDIVIDUALS)),
+            )
+    return abox
+
+
+@st.composite
+def connected_cqs(draw, max_atoms: int = 3):
+    """Small connected CQs over the shared vocabulary."""
+    atom_count = draw(st.integers(1, max_atoms))
+    atoms = []
+    used_vars = [VARIABLES[0]]
+    for index in range(atom_count):
+        # Connect each new atom through an already-used variable.
+        anchor = draw(st.sampled_from(used_vars))
+        fresh_candidates = [v for v in VARIABLES if v not in used_vars]
+        other = draw(
+            st.sampled_from(used_vars + fresh_candidates[:1])
+            if fresh_candidates
+            else st.sampled_from(used_vars)
+        )
+        if draw(st.booleans()):
+            atoms.append(concept_atom(draw(st.sampled_from(CONCEPTS)), anchor))
+        else:
+            pair = (anchor, other) if draw(st.booleans()) else (other, anchor)
+            atoms.append(role_atom(draw(st.sampled_from(ROLES)), *pair))
+            if other not in used_vars:
+                used_vars.append(other)
+    body_vars = sorted({v for a in atoms for v in a.variables()})
+    head = (body_vars[0],) if body_vars else ()
+    return CQ(head=head, atoms=tuple(atoms))
+
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1 and 3
+# ---------------------------------------------------------------------------
+
+
+class TestCoverTheorems:
+    @COMMON_SETTINGS
+    @given(tboxes(), aboxes(), connected_cqs())
+    def test_theorem1_safe_covers_preserve_answers(self, tbox, abox, query):
+        facts = abox.fact_store()
+        reference = evaluate_ucq(reformulate_to_ucq(query, tbox), facts)
+        for cover in enumerate_safe_covers(query, tbox):
+            jucq = cover_based_reformulation(cover, tbox)
+            assert evaluate_jucq(jucq, facts) == reference
+
+    @COMMON_SETTINGS
+    @given(tboxes(), aboxes(), connected_cqs())
+    def test_theorem3_generalized_covers_preserve_answers(
+        self, tbox, abox, query
+    ):
+        facts = abox.fact_store()
+        reference = evaluate_ucq(reformulate_to_ucq(query, tbox), facts)
+        for cover in enumerate_generalized_covers(query, tbox, limit=8):
+            jucq = cover_based_reformulation(cover, tbox)
+            assert evaluate_jucq(jucq, facts) == reference
+
+
+# ---------------------------------------------------------------------------
+# PerfectRef vs the chase (existential-free fragment: chase terminates)
+# ---------------------------------------------------------------------------
+
+
+class TestReformulationVsChase:
+    @COMMON_SETTINGS
+    @given(tboxes(allow_existentials=False), aboxes(), connected_cqs())
+    def test_reformulation_equals_certain_answers(self, tbox, abox, query):
+        kb = KnowledgeBase(tbox, abox)
+        truth = certain_answers(query, kb, max_generations=6)
+        ucq = reformulate_to_ucq(query, tbox)
+        assert evaluate_ucq(ucq, abox.fact_store()) == truth
+
+    @COMMON_SETTINGS
+    @given(tboxes(), aboxes(), connected_cqs())
+    def test_reformulation_sound_with_existentials(self, tbox, abox, query):
+        # With existential axioms the bounded chase may under-approximate,
+        # but reformulation answers must always be certain (soundness).
+        kb = KnowledgeBase(tbox, abox)
+        truth = certain_answers(query, kb, max_generations=6)
+        ucq = reformulate_to_ucq(query, tbox)
+        assert evaluate_ucq(ucq, abox.fact_store()) <= truth
+
+
+# ---------------------------------------------------------------------------
+# USCQ factorization
+# ---------------------------------------------------------------------------
+
+
+class TestUSCQFactorization:
+    @COMMON_SETTINGS
+    @given(tboxes(), aboxes(), connected_cqs())
+    def test_factorization_preserves_answers(self, tbox, abox, query):
+        facts = abox.fact_store()
+        ucq = reformulate_to_ucq(query, tbox, minimize=True)
+        uscq = factorize_ucq(ucq)
+        assert evaluate_uscq(uscq, facts) == evaluate_ucq(ucq, facts)
+
+    @COMMON_SETTINGS
+    @given(tboxes(), connected_cqs())
+    def test_factorization_expansion_equivalence(self, tbox, query):
+        ucq = reformulate_to_ucq(query, tbox, minimize=True)
+        uscq = factorize_ucq(ucq)
+        expansion = uscq.expand()
+        # Every expanded CQ is contained in some original disjunct and
+        # vice versa (semantic equivalence of the two reformulations).
+        for cq in expansion:
+            assert any(is_contained_in(cq, d) for d in ucq.disjuncts)
+        for disjunct in ucq.disjuncts:
+            assert any(is_contained_in(disjunct, cq) for cq in expansion)
+
+
+# ---------------------------------------------------------------------------
+# Containment / minimization / canonicalization
+# ---------------------------------------------------------------------------
+
+
+class TestContainmentProperties:
+    @COMMON_SETTINGS
+    @given(connected_cqs())
+    def test_containment_reflexive(self, query):
+        assert is_contained_in(query, query)
+
+    @COMMON_SETTINGS
+    @given(connected_cqs(), connected_cqs(), connected_cqs())
+    def test_containment_transitive(self, q1, q2, q3):
+        if is_contained_in(q1, q2) and is_contained_in(q2, q3):
+            assert is_contained_in(q1, q3)
+
+    @COMMON_SETTINGS
+    @given(connected_cqs(), aboxes())
+    def test_minimize_cq_preserves_answers(self, query, abox):
+        facts = abox.fact_store()
+        assert evaluate_cq(minimize_cq(query), facts) == evaluate_cq(query, facts)
+
+    @COMMON_SETTINGS
+    @given(st.lists(connected_cqs(), min_size=1, max_size=4), aboxes())
+    def test_minimize_ucq_preserves_answers(self, cqs, abox):
+        arity = len(cqs[0].head)
+        same_arity = [cq for cq in cqs if len(cq.head) == arity]
+        facts = abox.fact_store()
+        before = set()
+        for cq in same_arity:
+            before |= evaluate_cq(cq, facts)
+        after = set()
+        for cq in minimize_ucq(same_arity):
+            after |= evaluate_cq(cq, facts)
+        assert before == after
+
+    @COMMON_SETTINGS
+    @given(connected_cqs(), st.randoms(use_true_random=False))
+    def test_canonical_key_invariant_under_renaming(self, query, rng):
+        variables = sorted(query.variables())
+        shuffled = list(variables)
+        rng.shuffle(shuffled)
+        fresh = [Variable(f"rn{i}") for i in range(len(variables))]
+        renaming = Substitution(dict(zip(variables, fresh)))
+        renamed = query.apply(renaming)
+        assert renamed.canonical_key() == query.canonical_key()
+
+    @COMMON_SETTINGS
+    @given(connected_cqs(), st.permutations(range(6)))
+    def test_canonical_key_invariant_under_atom_order(self, query, perm):
+        indices = [i % len(query.atoms) for i in perm[: len(query.atoms)]]
+        if sorted(set(indices)) != list(range(len(query.atoms))):
+            indices = list(reversed(range(len(query.atoms))))
+        reordered = query.with_atoms([query.atoms[i] for i in indices])
+        assert reordered.canonical_key() == query.canonical_key()
+
+
+# ---------------------------------------------------------------------------
+# SQL differential correctness
+# ---------------------------------------------------------------------------
+
+
+class TestSQLDifferential:
+    @COMMON_SETTINGS
+    @given(tboxes(), aboxes(), connected_cqs(max_atoms=2))
+    def test_backends_agree_with_reference(self, tbox, abox, query):
+        from repro.sql.translator import SQLTranslator
+        from repro.storage.layouts import SimpleLayout
+        from repro.storage.memory_backend import MemoryBackend
+        from repro.storage.sqlite_backend import SQLiteBackend
+
+        facts = abox.fact_store()
+        ucq = reformulate_to_ucq(query, tbox, minimize=True)
+        reference = evaluate_ucq(ucq, facts)
+
+        layout = SimpleLayout()
+        data = layout.build(
+            abox, tbox, extra_concepts=CONCEPTS, extra_roles=ROLES
+        )
+        sql = SQLTranslator(layout).translate(ucq)
+        for backend in (SQLiteBackend(), MemoryBackend()):
+            backend.load(data)
+            rows = backend.execute(sql)
+            decoded = {layout.dictionary.decode_row(r) for r in rows}
+            if query.head:
+                assert decoded == reference, backend.name
+            else:
+                assert bool(rows) == bool(reference), backend.name

@@ -1,0 +1,115 @@
+"""Unit tests for terms, atoms and substitutions."""
+
+import pytest
+
+from repro.queries.atoms import Atom, concept_atom, role_atom
+from repro.queries.substitution import Substitution
+from repro.queries.terms import (
+    Constant,
+    Variable,
+    fresh_variable,
+    is_constant,
+    is_variable,
+)
+
+
+class TestTerms:
+    def test_variable_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_constant_equality_by_value(self):
+        assert Constant("Damian") == Constant("Damian")
+        assert Constant("Damian") != Constant("Ioana")
+        assert Constant(1) != Constant("1")
+
+    def test_variable_is_hashable_and_usable_in_sets(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_fresh_variables_are_distinct(self):
+        names = {fresh_variable().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_fresh_variables_are_anonymous(self):
+        assert fresh_variable().is_anonymous
+        assert not Variable("x").is_anonymous
+
+    def test_predicates(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("a"))
+        assert is_constant(Constant("a"))
+        assert not is_constant(Variable("x"))
+
+    def test_str_rendering(self):
+        assert str(Variable("x")) == "x"
+        assert str(Constant("Ioana")) == "<Ioana>"
+        assert str(Constant(42)) == "42"
+
+
+class TestAtoms:
+    def test_concept_atom(self):
+        atom = concept_atom("PhDStudent", Variable("x"))
+        assert atom.arity == 1
+        assert atom.is_concept_atom
+        assert not atom.is_role_atom
+
+    def test_role_atom(self):
+        atom = role_atom("worksWith", Variable("x"), Constant("Ioana"))
+        assert atom.arity == 2
+        assert atom.is_role_atom
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("p", ())
+        with pytest.raises(ValueError):
+            Atom("p", (Variable("x"), Variable("y"), Variable("z")))
+
+    def test_variables_iteration_skips_constants(self):
+        atom = role_atom("r", Constant("a"), Variable("y"))
+        assert list(atom.variables()) == [Variable("y")]
+
+    def test_str(self):
+        atom = role_atom("worksWith", Variable("y"), Variable("x"))
+        assert str(atom) == "worksWith(y, x)"
+
+
+class TestSubstitution:
+    def test_identity_is_empty(self):
+        identity = Substitution.identity()
+        assert not identity
+        assert identity.apply_term(Variable("x")) == Variable("x")
+
+    def test_trivial_bindings_dropped(self):
+        sub = Substitution({Variable("x"): Variable("x")})
+        assert len(sub) == 0
+
+    def test_apply_to_atom(self):
+        sub = Substitution({Variable("x"): Constant("a")})
+        atom = role_atom("r", Variable("x"), Variable("y"))
+        assert sub.apply_atom(atom) == role_atom("r", Constant("a"), Variable("y"))
+
+    def test_constants_unaffected(self):
+        sub = Substitution({Variable("x"): Variable("y")})
+        assert sub.apply_term(Constant("x")) == Constant("x")
+
+    def test_compose_applies_left_then_right(self):
+        first = Substitution({Variable("x"): Variable("y")})
+        second = Substitution({Variable("y"): Constant("a")})
+        composed = first.compose(second)
+        assert composed.apply_term(Variable("x")) == Constant("a")
+        assert composed.apply_term(Variable("y")) == Constant("a")
+
+    def test_compose_keeps_disjoint_bindings(self):
+        first = Substitution({Variable("x"): Constant("a")})
+        second = Substitution({Variable("z"): Constant("b")})
+        composed = first.compose(second)
+        assert composed.apply_term(Variable("x")) == Constant("a")
+        assert composed.apply_term(Variable("z")) == Constant("b")
+
+    def test_bind_extends(self):
+        sub = Substitution().bind(Variable("x"), Constant("a"))
+        assert sub.get(Variable("x")) == Constant("a")
+
+    def test_rejects_non_variable_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({Constant("a"): Variable("x")})  # type: ignore[dict-item]
