@@ -33,6 +33,7 @@ __all__ = [
     "sql",
     "engine",
     "storage",
+    "serving",
     "obda",
     "bench",
 ]

@@ -11,6 +11,7 @@ Two estimators drive the paper's cover search (Figure 2/3 legends):
   ``estimated_cost``): :class:`~repro.cost.estimators.RDBMSCoverCost`.
 """
 
+from repro.cost.cache import ReformulationCache
 from repro.cost.statistics import DataStatistics, PredicateStatistics
 from repro.cost.model import ExternalCostModel, ExternalCostParameters
 from repro.cost.estimators import (
@@ -27,4 +28,5 @@ __all__ = [
     "ExternalCoverCost",
     "PredicateStatistics",
     "RDBMSCoverCost",
+    "ReformulationCache",
 ]

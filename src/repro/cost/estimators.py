@@ -26,6 +26,7 @@ from repro.covers.reformulate import (
     cover_based_reformulation,
     cover_based_uscq_reformulation,
 )
+from repro.cost.cache import ReformulationCache
 from repro.cost.model import ExternalCostModel
 from repro.dllite.tbox import TBox
 
@@ -33,24 +34,38 @@ AnyCover = Union[Cover, GeneralizedCover]
 
 
 class CoverCostEstimator(ABC):
-    """Prices covers; memoizes; counts calls."""
+    """Prices covers; memoizes; counts calls.
 
-    def __init__(self, tbox: TBox, minimize: bool = True, use_uscq: bool = False):
+    ``fragment_cache`` is the fragment-level :class:`ReformulationCache`.
+    By default each estimator owns a private one; an :class:`~repro.obda.
+    system.OBDASystem` injects its shared instance so fragment work is
+    reused across strategies, cost modes and queries.
+    """
+
+    def __init__(
+        self,
+        tbox: TBox,
+        minimize: bool = True,
+        use_uscq: bool = False,
+        fragment_cache: Optional[ReformulationCache] = None,
+    ):
         self.tbox = tbox
         self.minimize = minimize
         self.use_uscq = use_uscq
         self.calls = 0
         self._cache: Dict[Tuple, float] = {}
-        self._fragment_cache: Dict[Tuple, object] = {}
+        self.fragment_cache = (
+            fragment_cache if fragment_cache is not None else ReformulationCache()
+        )
 
     def reformulate(self, cover: AnyCover):
         """The reformulation whose cost is being estimated."""
         if self.use_uscq:
             return cover_based_uscq_reformulation(
-                cover, self.tbox, minimize=self.minimize
+                cover, self.tbox, minimize=self.minimize, cache=self.fragment_cache
             )
         return cover_based_reformulation(
-            cover, self.tbox, minimize=self.minimize, cache=self._fragment_cache
+            cover, self.tbox, minimize=self.minimize, cache=self.fragment_cache
         )
 
     def estimate(self, cover: AnyCover) -> float:
@@ -78,8 +93,14 @@ class ExternalCoverCost(CoverCostEstimator):
         model: ExternalCostModel,
         minimize: bool = True,
         use_uscq: bool = False,
+        fragment_cache: Optional[ReformulationCache] = None,
     ) -> None:
-        super().__init__(tbox, minimize=minimize, use_uscq=use_uscq)
+        super().__init__(
+            tbox,
+            minimize=minimize,
+            use_uscq=use_uscq,
+            fragment_cache=fragment_cache,
+        )
         self.model = model
 
     def _estimate_uncached(self, cover: AnyCover) -> float:
@@ -96,8 +117,14 @@ class RDBMSCoverCost(CoverCostEstimator):
         translator,
         minimize: bool = True,
         use_uscq: bool = False,
+        fragment_cache: Optional[ReformulationCache] = None,
     ) -> None:
-        super().__init__(tbox, minimize=minimize, use_uscq=use_uscq)
+        super().__init__(
+            tbox,
+            minimize=minimize,
+            use_uscq=use_uscq,
+            fragment_cache=fragment_cache,
+        )
         self.backend = backend
         self.translator = translator
 

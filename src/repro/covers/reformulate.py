@@ -65,12 +65,11 @@ def cover_based_reformulation(
     components: List[UCQ] = []
     for fq in fragment_queries_of(cover):
         key = (fq.head, fq.atoms, minimize)
-        if cache is not None and key in cache:
-            components.append(cache[key])
-            continue
-        component = reformulate_to_ucq(fq, tbox, minimize=minimize)
-        if cache is not None:
-            cache[key] = component
+        component = cache.get(key) if cache is not None else None
+        if component is None:
+            component = reformulate_to_ucq(fq, tbox, minimize=minimize)
+            if cache is not None:
+                cache[key] = component
         components.append(component)
     return JUCQ(
         head=query.head,
@@ -83,15 +82,26 @@ def cover_based_uscq_reformulation(
     cover: AnyCover,
     tbox: TBox,
     minimize: bool = True,
+    cache: Optional[dict] = None,
 ) -> JUSCQ:
-    """The JUSCQ reformulation: fragments reformulated to USCQs instead."""
+    """The JUSCQ reformulation: fragments reformulated to USCQs instead.
+
+    ``cache`` works as in :func:`cover_based_reformulation`, but keys carry
+    a trailing ``"uscq"`` marker so the two dialects never collide when
+    sharing one cache (a cached UCQ must never surface where a USCQ is
+    expected, and vice versa).
+    """
     query = cover.query
     components: List[USCQ] = []
     for fq in fragment_queries_of(cover):
-        ucq = reformulate_to_ucq(fq, tbox, minimize=minimize)
-        components.append(
-            factorize_ucq(ucq, name=f"{fq.name}_uscq")
-        )
+        key = (fq.head, fq.atoms, minimize, "uscq")
+        component = cache.get(key) if cache is not None else None
+        if component is None:
+            ucq = reformulate_to_ucq(fq, tbox, minimize=minimize)
+            component = factorize_ucq(ucq, name=f"{fq.name}_uscq")
+            if cache is not None:
+                cache[key] = component
+        components.append(component)
     return JUSCQ(
         head=query.head,
         components=tuple(components),

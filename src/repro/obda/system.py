@@ -12,13 +12,25 @@ The pipeline per query (Figure 1 of the paper):
 
 Every step is timed; :class:`AnswerReport` carries the numbers the
 benchmark harness prints.
+
+Two layers of shared work make repeated and batched traffic cheap:
+
+* a fragment-level :class:`~repro.cost.cache.ReformulationCache` shared by
+  every estimator and strategy this system creates, so a fragment query is
+  run through PerfectRef once per system, not once per cover;
+* a :class:`~repro.serving.plan_cache.PlanCache` of finished
+  :class:`ReformulationChoice` objects, so answering a query a second time
+  skips search and SQL translation entirely (see :meth:`OBDASystem.
+  answer_many` for the batched entry point).
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple, Union
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.covers.reformulate import (
     cover_based_reformulation,
@@ -30,6 +42,7 @@ from repro.cost.estimators import (
     ExternalCoverCost,
     RDBMSCoverCost,
 )
+from repro.cost.cache import DEFAULT_FRAGMENT_CACHE_CAPACITY, ReformulationCache
 from repro.cost.model import ExternalCostModel
 from repro.cost.statistics import DataStatistics
 from repro.dllite.abox import ABox
@@ -41,6 +54,7 @@ from repro.optimizer.gdl import gdl_search
 from repro.optimizer.result import SearchResult
 from repro.queries.cq import CQ
 from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.serving.plan_cache import PlanCache
 from repro.sql.translator import SQLTranslator
 from repro.storage.layouts import RDFLayout, SimpleLayout
 from repro.storage.memory_backend import MemoryBackend
@@ -48,6 +62,11 @@ from repro.storage.sqlite_backend import SQLiteBackend
 
 STRATEGIES = ("ucq", "croot", "gdl", "edl")
 COST_MODES = ("ext", "rdbms")
+
+#: Default cap on the generalized covers EDL enumerates. Kept as a named
+#: constant because the plan cache only stores plans computed with this
+#: default (the plan key deliberately excludes the knob).
+DEFAULT_GENERALIZED_LIMIT = 20_000
 
 
 @dataclass
@@ -59,16 +78,25 @@ class ReformulationChoice:
     sql: str
     search: Optional[SearchResult] = None
     reformulation_seconds: float = 0.0
+    plan_cache_hit: bool = False
 
 
 @dataclass
 class AnswerReport:
-    """Answers plus per-stage timings."""
+    """Answers plus per-stage timings and cache accounting."""
 
     query: CQ
     choice: ReformulationChoice
     answers: Set[Tuple]
     execution_seconds: float = 0.0
+    #: Snapshot of the system's plan- and fragment-cache counters at
+    #: answer time: ``{"plan": {...}, "fragments": {...}}``.
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def plan_cache_hit(self) -> bool:
+        """Whether this answer reused a cached plan (no search, no SQL gen)."""
+        return self.choice.plan_cache_hit
 
     @property
     def total_seconds(self) -> float:
@@ -86,6 +114,7 @@ class OBDASystem:
         layout: Union[str, object] = "simple",
         rdf_width: int = 8,
         check_consistency: bool = False,
+        plan_cache_size: int = 256,
     ) -> None:
         self.kb = KnowledgeBase(tbox, abox)
         if check_consistency:
@@ -116,6 +145,20 @@ class OBDASystem:
         self.statistics = DataStatistics.from_abox(abox)
         self.cost_model = ExternalCostModel(self.statistics)
 
+        #: Fragment reformulations shared across strategies, cost modes and
+        #: queries for the lifetime of this system (one TBox, so sound);
+        #: LRU-bounded so long-lived serving processes stay bounded too.
+        self.reformulation_cache = ReformulationCache(
+            capacity=DEFAULT_FRAGMENT_CACHE_CAPACITY
+        )
+        #: Finished plans: repeated queries skip search and translation.
+        self.plan_cache = PlanCache(plan_cache_size)
+        # Single-flight guards: concurrent answer_many() workers asking for
+        # the same (not yet cached) plan serialize per key, so one computes
+        # and the rest hit the cache instead of racing duplicate searches.
+        self._plan_locks: Dict[Tuple, threading.Lock] = {}
+        self._plan_locks_guard = threading.Lock()
+
     # ------------------------------------------------------------------
     @classmethod
     def from_text(
@@ -130,7 +173,11 @@ class OBDASystem:
     ) -> CoverCostEstimator:
         if cost == "ext":
             return ExternalCoverCost(
-                self.kb.tbox, self.cost_model, minimize=minimize, use_uscq=use_uscq
+                self.kb.tbox,
+                self.cost_model,
+                minimize=minimize,
+                use_uscq=use_uscq,
+                fragment_cache=self.reformulation_cache,
             )
         if cost == "rdbms":
             return RDBMSCoverCost(
@@ -139,8 +186,15 @@ class OBDASystem:
                 self.translator,
                 minimize=minimize,
                 use_uscq=use_uscq,
+                fragment_cache=self.reformulation_cache,
             )
         raise ValueError(f"unknown cost mode {cost!r}; expected one of {COST_MODES}")
+
+    def _plan_key(
+        self, query: CQ, strategy: str, cost: str, minimize: bool, use_uscq: bool
+    ) -> Tuple:
+        """The plan-cache key: canonical query plus every plan-shaping flag."""
+        return (query.canonical_key(), strategy, cost, minimize, use_uscq)
 
     def reformulate(
         self,
@@ -150,22 +204,98 @@ class OBDASystem:
         minimize: bool = True,
         use_uscq: bool = False,
         time_budget_seconds: Optional[float] = None,
-        generalized_limit: Optional[int] = 20_000,
+        generalized_limit: Optional[int] = DEFAULT_GENERALIZED_LIMIT,
+        use_plan_cache: bool = True,
     ) -> ReformulationChoice:
-        """Pick a FOL reformulation for *query* and translate it to SQL."""
+        """Pick a FOL reformulation for *query* and translate it to SQL.
+
+        With ``use_plan_cache`` (the default) the finished choice is stored
+        in — and served from — the system's :class:`PlanCache`, so a
+        repeated query skips search and translation entirely; concurrent
+        requests for the same uncached plan are single-flighted (one
+        computes, the rest wait and hit). Calls with a time budget or a
+        non-default generalized cap bypass the cache (the plan key
+        deliberately excludes those knobs, and a budget-truncated plan
+        must not be served as the full one).
+        """
         if isinstance(query, str):
             query = parse_query(query)
+        cacheable = (
+            use_plan_cache
+            and time_budget_seconds is None
+            and generalized_limit == DEFAULT_GENERALIZED_LIMIT
+        )
+        if not cacheable:
+            return self._compute_choice(
+                query,
+                strategy,
+                cost,
+                minimize,
+                use_uscq,
+                time_budget_seconds,
+                generalized_limit,
+            )
+        plan_key = self._plan_key(query, strategy, cost, minimize, use_uscq)
+        with self._plan_locks_guard:
+            flight_lock = self._plan_locks.setdefault(plan_key, threading.Lock())
+        try:
+            with flight_lock:
+                lookup_started = time.perf_counter()
+                cached = self.plan_cache.get(plan_key)
+                if cached is not None:
+                    return replace(
+                        cached,
+                        plan_cache_hit=True,
+                        reformulation_seconds=time.perf_counter() - lookup_started,
+                    )
+                choice = self._compute_choice(
+                    query,
+                    strategy,
+                    cost,
+                    minimize,
+                    use_uscq,
+                    time_budget_seconds,
+                    generalized_limit,
+                )
+                self.plan_cache.put(plan_key, choice)
+                return choice
+        finally:
+            with self._plan_locks_guard:
+                self._plan_locks.pop(plan_key, None)
+
+    def _compute_choice(
+        self,
+        query: CQ,
+        strategy: str,
+        cost: str,
+        minimize: bool,
+        use_uscq: bool,
+        time_budget_seconds: Optional[float],
+        generalized_limit: Optional[int],
+    ) -> ReformulationChoice:
+        """The uncached reformulate-translate pipeline."""
         started = time.perf_counter()
         search: Optional[SearchResult] = None
 
         if strategy == "ucq":
-            reformulation = reformulate_to_ucq(query, self.kb.tbox, minimize=minimize)
+            ucq_key = (query.head, query.atoms, minimize)
+            reformulation = self.reformulation_cache.get(ucq_key)
+            if reformulation is None:
+                reformulation = reformulate_to_ucq(
+                    query, self.kb.tbox, minimize=minimize
+                )
+                self.reformulation_cache[ucq_key] = reformulation
         elif strategy == "croot":
             cover = root_cover(query, self.kb.tbox)
             builder = (
                 cover_based_uscq_reformulation if use_uscq else cover_based_reformulation
             )
-            reformulation = builder(cover, self.kb.tbox, minimize=minimize)
+            reformulation = builder(
+                cover,
+                self.kb.tbox,
+                minimize=minimize,
+                cache=self.reformulation_cache,
+            )
         elif strategy in ("gdl", "edl"):
             estimator = self._estimator(cost, minimize, use_uscq)
             if strategy == "gdl":
@@ -207,6 +337,7 @@ class OBDASystem:
         minimize: bool = True,
         use_uscq: bool = False,
         time_budget_seconds: Optional[float] = None,
+        use_plan_cache: bool = True,
     ) -> AnswerReport:
         """Answer *query*: reformulate, translate, evaluate, decode."""
         if isinstance(query, str):
@@ -218,6 +349,7 @@ class OBDASystem:
             minimize=minimize,
             use_uscq=use_uscq,
             time_budget_seconds=time_budget_seconds,
+            use_plan_cache=use_plan_cache,
         )
         started = time.perf_counter()
         rows = self.backend.execute(choice.sql)
@@ -228,7 +360,50 @@ class OBDASystem:
             choice=choice,
             answers=answers,
             execution_seconds=execution,
+            cache_stats={
+                "plan": self.plan_cache.stats(),
+                "fragments": self.reformulation_cache.stats(),
+            },
         )
+
+    def answer_many(
+        self,
+        queries: Sequence[Union[str, CQ]],
+        strategy: str = "gdl",
+        cost: str = "ext",
+        minimize: bool = True,
+        use_uscq: bool = False,
+        use_plan_cache: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> List[AnswerReport]:
+        """Answer a batch of queries, reports in input order.
+
+        With ``max_workers`` > 1 the batch runs on a thread pool; the plan
+        and fragment caches are thread-safe, fresh estimators are built per
+        call, and :class:`~repro.storage.sqlite_backend.SQLiteBackend`
+        guards its connection — so concurrent batches return exactly the
+        sequential answers. Duplicate queries in one batch are where the
+        plan cache shines: one cold plan, the rest hits.
+        """
+        parsed = [
+            parse_query(query) if isinstance(query, str) else query
+            for query in queries
+        ]
+
+        def one(query: CQ) -> AnswerReport:
+            return self.answer(
+                query,
+                strategy=strategy,
+                cost=cost,
+                minimize=minimize,
+                use_uscq=use_uscq,
+                use_plan_cache=use_plan_cache,
+            )
+
+        if max_workers is not None and max_workers > 1 and len(parsed) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(one, parsed))
+        return [one(query) for query in parsed]
 
     def execute_choice(self, query: CQ, choice: ReformulationChoice) -> Set[Tuple]:
         """Evaluate an already-made reformulation choice (bench harness)."""
@@ -239,3 +414,23 @@ class OBDASystem:
         if not query.head:
             return {()} if rows else set()
         return {self.layout.dictionary.decode_row(row) for row in rows}
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Current plan- and fragment-cache counters."""
+        return {
+            "plan": self.plan_cache.stats(),
+            "fragments": self.reformulation_cache.stats(),
+        }
+
+    def close(self) -> None:
+        """Release the backend's resources and drop cached plans. Idempotent."""
+        self.backend.close()
+        self.plan_cache.clear()
+        self.reformulation_cache.clear()
+
+    def __enter__(self) -> "OBDASystem":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

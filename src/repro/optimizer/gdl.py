@@ -19,7 +19,7 @@ good as the full run because interesting covers are found early.
 from __future__ import annotations
 
 import time
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
 
 from repro.covers.cover import Cover, GeneralizedCover, GeneralizedFragment
 from repro.covers.safety import root_cover
@@ -47,25 +47,47 @@ def _union_moves(cover: GeneralizedCover) -> Iterator[GeneralizedCover]:
                 continue  # inclusion among fragments: not a valid cover
 
 
-def _enlarge_moves(cover: GeneralizedCover) -> Iterator[GeneralizedCover]:
-    """All covers obtained by adding one connected reducer atom."""
-    query = cover.query
-    variable_map = query.atoms_sharing_variable()
-    adjacency = {i: set() for i in range(len(query.atoms))}
-    for positions in variable_map.values():
-        for i in positions:
-            for j in positions:
-                if i != j:
-                    adjacency[i].add(j)
-    for fragment in cover.fragments:
-        frontier: Set[int] = set()
-        for index in fragment.f:
-            frontier |= adjacency[index]
-        for atom_index in sorted(frontier - fragment.f):
-            try:
-                yield cover.enlarge(fragment, atom_index)
-            except ValueError:
-                continue
+class _MoveEnumerator:
+    """Per-search enumeration state for *enlarge* moves.
+
+    The atom-adjacency map depends only on the query, and a fragment's
+    frontier only on its ``f`` part — both recur across the covers one
+    greedy descent visits, so they are computed once here instead of on
+    every :func:`gdl_search` step.
+    """
+
+    def __init__(self, query: CQ) -> None:
+        self.adjacency: Dict[int, Set[int]] = {
+            i: set() for i in range(len(query.atoms))
+        }
+        for positions in query.atoms_sharing_variable().values():
+            for i in positions:
+                for j in positions:
+                    if i != j:
+                        self.adjacency[i].add(j)
+        self._frontiers: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+
+    def frontier(self, f: FrozenSet[int]) -> Tuple[int, ...]:
+        """Atom indices join-connected to ``f`` but outside it, sorted."""
+        cached = self._frontiers.get(f)
+        if cached is None:
+            reachable: Set[int] = set()
+            for index in f:
+                reachable |= self.adjacency[index]
+            cached = tuple(sorted(reachable - f))
+            self._frontiers[f] = cached
+        return cached
+
+    def enlarge_moves(
+        self, cover: GeneralizedCover
+    ) -> Iterator[GeneralizedCover]:
+        """All covers obtained by adding one connected reducer atom."""
+        for fragment in cover.fragments:
+            for atom_index in self.frontier(fragment.f):
+                try:
+                    yield cover.enlarge(fragment, atom_index)
+                except ValueError:
+                    continue
 
 
 def gdl_search(
@@ -97,6 +119,7 @@ def gdl_search(
     safe_explored = 1
     generalized_explored = 0
     hit_budget = False
+    moves = _MoveEnumerator(query)
 
     for _step in range(max_steps):
         move: Optional[GeneralizedCover] = None
@@ -104,7 +127,7 @@ def gdl_search(
         move_is_generalized = False
         move_kinds = [("union", _union_moves(current))]
         if enable_generalized:
-            move_kinds.append(("enlarge", _enlarge_moves(current)))
+            move_kinds.append(("enlarge", moves.enlarge_moves(current)))
         for kind, candidates in move_kinds:
             for candidate in candidates:
                 if out_of_time():
@@ -126,7 +149,7 @@ def gdl_search(
                     move_is_generalized = not candidate.is_plain()
             if hit_budget:
                 break
-        if move is None or hit_budget and move is None:
+        if move is None:
             break
         current, current_cost = move, move_cost  # type: ignore[assignment]
         if hit_budget:

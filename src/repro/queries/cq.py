@@ -155,34 +155,67 @@ class CQ:
 
         Head variables are renamed positionally first; remaining variables
         are renamed greedily while atoms are emitted in lexicographically
-        minimal order. Two CQs with equal keys are isomorphic. (For highly
-        symmetric bodies two isomorphic CQs could in principle receive
-        different keys; this only causes a harmless duplicate during
-        deduplication, never an incorrect merge.)
+        minimal order. Ties between not-yet-named variables are broken by
+        order-independent structure — a one-step refinement signature (the
+        sorted multiset of the variable's occurrence contexts, each with
+        the classes of its co-arguments) plus the repetition pattern
+        within the atom — never by atom position, so the key is invariant
+        under reordering the body. Two
+        CQs with equal keys are isomorphic. (For highly symmetric bodies
+        two isomorphic CQs could in principle receive different keys; this
+        only causes a harmless duplicate during deduplication, never an
+        incorrect merge.)
         """
         renaming: Dict[Variable, Variable] = {}
         for position, term in enumerate(self.head):
             if is_variable(term) and term not in renaming:
                 renaming[term] = Variable(f"_h{len(renaming)}")
         fresh_index = 0
+        occurrences = self.occurrence_counts()
 
-        def rank(term: Term) -> Tuple:
+        def term_class(term: Term) -> Tuple:
             if isinstance(term, Constant):
                 return (0, str(term.value))
-            if term in renaming:
+            if term in renaming:  # head variables only; fixed before the loop
                 return (1, renaming[term].name)
-            return (2, "")
+            return (2, occurrences[term])
+
+        contexts: Dict[Variable, List[Tuple]] = {}
+        for atom in self.atoms:
+            for position, term in enumerate(atom.args):
+                if is_variable(term) and term not in renaming:
+                    contexts.setdefault(term, []).append(
+                        (
+                            atom.predicate,
+                            atom.arity,
+                            position,
+                            tuple(term_class(t) for t in atom.args),
+                        )
+                    )
+        signature: Dict[Variable, Tuple] = {
+            var: tuple(sorted(occurrence_list))
+            for var, occurrence_list in contexts.items()
+        }
+
+        def atom_rank(atom: Atom) -> Tuple:
+            first_seen: Dict[Variable, int] = {}
+            ranks: List[Tuple] = []
+            for position, term in enumerate(atom.args):
+                if isinstance(term, Constant):
+                    ranks.append((0, str(term.value)))
+                elif term in renaming:
+                    ranks.append((1, renaming[term].name))
+                else:
+                    first_seen.setdefault(term, position)
+                    ranks.append((2, signature[term], first_seen[term]))
+            return (atom.predicate, atom.arity, tuple(ranks))
 
         remaining = list(self.atoms)
         ordered: List[Atom] = []
         while remaining:
             best_position = min(
                 range(len(remaining)),
-                key=lambda i: (
-                    remaining[i].predicate,
-                    remaining[i].arity,
-                    tuple(rank(t) for t in remaining[i].args),
-                ),
+                key=lambda i: atom_rank(remaining[i]),
             )
             atom = remaining.pop(best_position)
             for term in atom.args:
@@ -193,7 +226,22 @@ class CQ:
 
         substitution = Substitution(renaming)
         canonical_head = tuple(substitution.apply_term(t) for t in self.head)
-        canonical_atoms = tuple(sorted(substitution.apply_atoms(ordered)))
+
+        def atom_sort_key(atom: Atom) -> Tuple:
+            # Atoms mixing Constants and Variables at one position are not
+            # orderable by the dataclass ordering; rank per term class.
+            return (
+                atom.predicate,
+                atom.arity,
+                tuple(
+                    (0, str(t.value)) if isinstance(t, Constant) else (1, t.name)
+                    for t in atom.args
+                ),
+            )
+
+        canonical_atoms = tuple(
+            sorted(substitution.apply_atoms(ordered), key=atom_sort_key)
+        )
         return (canonical_head, canonical_atoms)
 
     def rename_apart(self, taken: Iterable[Variable]) -> "CQ":

@@ -1,0 +1,75 @@
+"""A bounded, thread-safe LRU cache of reformulation choices.
+
+The key is built by :meth:`repro.obda.system.OBDASystem._plan_key`:
+``(query.canonical_key(), strategy, cost, minimize, use_uscq)``. The
+query's *canonical* key (equality modulo variable renaming) means two
+syntactically different spellings of the same query share one plan; every
+flag that can change the chosen reformulation is part of the key, so e.g.
+a ``use_uscq=True`` plan is never served where a JUCQ plan was requested.
+
+The cached value is an entire :class:`~repro.obda.system.
+ReformulationChoice` — reformulation, SQL and search result — so a hit
+skips the whole reformulate-translate pipeline. Eviction is
+least-recently-used; capacity bounds memory for long-lived serving
+processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+
+class PlanCache:
+    """LRU mapping plan keys to cached plans, with hit/miss counters."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[object]:
+        """The cached plan for *key*, or ``None``; refreshes recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Tuple, plan: object) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the counters (reported on ``AnswerReport``)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

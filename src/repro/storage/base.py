@@ -33,3 +33,17 @@ class Backend(ABC):
     def estimated_cost(self, sql: str) -> float:
         """The backend's own cost estimate for *sql* (the paper's
         "RDBMS cost estimation" — ``explain`` / ``db2expln``)."""
+
+    def close(self) -> None:
+        """Release any resources held by the backend.
+
+        Idempotent. The default is a no-op for purely in-process
+        backends; :class:`SQLiteBackend` overrides it to close its
+        connection.
+        """
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

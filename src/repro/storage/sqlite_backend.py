@@ -16,6 +16,7 @@ a substitution in DESIGN.md.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import List, Optional, Tuple
 
 from repro.engine.catalog import ColumnStats, TableStats
@@ -40,21 +41,41 @@ SQLITE_COSTS = CostParameters(
 
 
 class SQLiteBackend(Backend):
-    """In-memory SQLite with a planner-based cost estimator."""
+    """In-memory SQLite with a planner-based cost estimator.
+
+    The single in-memory connection is created with
+    ``check_same_thread=False`` and every use of it is serialized behind a
+    lock, so one backend instance can safely serve
+    :meth:`repro.obda.system.OBDASystem.answer_many` worker threads (an
+    in-memory database cannot be reopened per thread — each new
+    ``:memory:`` connection would be a fresh empty database).
+    """
 
     name = "sqlite"
 
     def __init__(self, max_statement_length: Optional[int] = None) -> None:
-        self._connection = sqlite3.connect(":memory:")
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+            ":memory:", check_same_thread=False
+        )
+        self._connection_lock = threading.Lock()
         self._shadow = MiniRDBMS(
             max_statement_length=max_statement_length or 1_000_000_000,
             cost_parameters=SQLITE_COSTS,
         )
         self.max_statement_length = max_statement_length
 
+    def _cursor(self) -> sqlite3.Cursor:
+        if self._connection is None:
+            raise RuntimeError("SQLiteBackend is closed")
+        return self._connection.cursor()
+
     # ------------------------------------------------------------------
     def load(self, data: LayoutData) -> None:
-        cursor = self._connection.cursor()
+        with self._connection_lock:
+            self._load_locked(data)
+
+    def _load_locked(self, data: LayoutData) -> None:
+        cursor = self._cursor()
         for spec in data.tables:
             columns_ddl = ", ".join(f"{c} INTEGER" for c in spec.columns)
             cursor.execute(f"DROP TABLE IF EXISTS {spec.name}")
@@ -84,8 +105,9 @@ class SQLiteBackend(Backend):
     # ------------------------------------------------------------------
     def execute(self, sql: str) -> List[Row]:
         self._check_length(sql)
-        cursor = self._connection.cursor()
-        return [tuple(row) for row in cursor.execute(sql).fetchall()]
+        with self._connection_lock:
+            cursor = self._cursor()
+            return [tuple(row) for row in cursor.execute(sql).fetchall()]
 
     def estimated_cost(self, sql: str) -> float:
         self._check_length(sql)
@@ -93,9 +115,18 @@ class SQLiteBackend(Backend):
 
     def explain_text(self, sql: str) -> str:
         """SQLite's own EXPLAIN QUERY PLAN output (no numeric costs)."""
-        cursor = self._connection.cursor()
-        rows = cursor.execute(f"EXPLAIN QUERY PLAN {sql}").fetchall()
+        with self._connection_lock:
+            cursor = self._cursor()
+            rows = cursor.execute(f"EXPLAIN QUERY PLAN {sql}").fetchall()
         return "\n".join(str(row) for row in rows)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the in-memory connection (drops the database). Idempotent."""
+        with self._connection_lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
 
     def _check_length(self, sql: str) -> None:
         if (

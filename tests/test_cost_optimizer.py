@@ -174,6 +174,112 @@ class TestGDL:
         result = gdl_search(query, example1_tbox, estimator)
         assert result.total_covers_explored < 100
 
+    def test_budget_hit_mid_scan_still_applies_best_move(self, monkeypatch):
+        # Pins the time-budget semantics the simplified loop-exit condition
+        # must preserve: a budget expiring mid-scan still applies the
+        # cheapest move found so far (and reports the truncation) instead
+        # of discarding it. The TBox keeps the three atoms
+        # dependency-independent so the root cover has three fragments and
+        # the first sweep offers several moves; a fake clock driven by the
+        # estimator makes the expiry deterministic.
+        import repro.optimizer.gdl as gdl_module
+        from repro.dllite.parser import parse_tbox
+
+        tbox = parse_tbox(
+            """
+            role teaches
+            role attends
+            Professor <= Person
+            Student <= Person
+            """
+        )
+        query = parse_query("q(x) <- Person(x), teaches(x, a), attends(x, b)")
+
+        class FakeClock:
+            def __init__(self):
+                self.now = 0.0
+
+            def perf_counter(self):
+                return self.now
+
+        clock = FakeClock()
+        monkeypatch.setattr(gdl_module, "time", clock)
+
+        class ClockedEstimator:
+            """Root, then an improving move, then the budget expires."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def estimate(self, cover):
+                self.calls += 1
+                if self.calls == 1:
+                    return 100.0  # the root cover
+                if self.calls == 2:
+                    return 50.0  # an improving move
+                clock.now += 1.0  # past the budget, mid-scan
+                return 999.0
+
+        estimator = ClockedEstimator()
+        result = gdl_search(query, tbox, estimator, time_budget_seconds=0.5)
+        assert result.hit_time_budget
+        assert result.cost == 50.0  # the improving move was applied
+
+    def test_uscq_estimator_reuses_fragment_cache(
+        self, query, example1_tbox, rich_abox
+    ):
+        # Satellite regression: USCQ-mode estimation must go through the
+        # fragment cache too — a second search over a shared cache runs
+        # PerfectRef zero times.
+        from repro.cost.cache import ReformulationCache
+        from repro.reformulation.perfectref import perfectref_invocations
+
+        shared = ReformulationCache()
+        model = ExternalCostModel(DataStatistics.from_abox(rich_abox))
+        first = ExternalCoverCost(
+            example1_tbox, model, use_uscq=True, fragment_cache=shared
+        )
+        gdl_search(query, example1_tbox, first)
+        assert shared.misses > 0
+        before = perfectref_invocations()
+        second = ExternalCoverCost(
+            example1_tbox, model, use_uscq=True, fragment_cache=shared
+        )
+        gdl_search(query, example1_tbox, second)
+        assert perfectref_invocations() == before
+
+    def test_uscq_and_jucq_results_unchanged_by_shared_cache(
+        self, query, example1_tbox, rich_abox
+    ):
+        # Cache correctness: searches over a shared (warm) cache pick the
+        # same cover at the same cost as searches with private caches.
+        from repro.cost.cache import ReformulationCache
+
+        model = ExternalCostModel(DataStatistics.from_abox(rich_abox))
+        for use_uscq in (False, True):
+            shared = ReformulationCache()
+            private_result = gdl_search(
+                query,
+                example1_tbox,
+                ExternalCoverCost(example1_tbox, model, use_uscq=use_uscq),
+            )
+            gdl_search(  # warm the shared cache
+                query,
+                example1_tbox,
+                ExternalCoverCost(
+                    example1_tbox, model, use_uscq=use_uscq, fragment_cache=shared
+                ),
+            )
+            warm_result = gdl_search(
+                query,
+                example1_tbox,
+                ExternalCoverCost(
+                    example1_tbox, model, use_uscq=use_uscq, fragment_cache=shared
+                ),
+            )
+            assert warm_result.cover.key() == private_result.cover.key()
+            assert warm_result.cost == private_result.cost
+
 
 class TestEDL:
     def test_edl_explores_whole_lattice(self, example1_tbox, rich_abox):
