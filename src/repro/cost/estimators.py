@@ -26,7 +26,7 @@ from repro.covers.reformulate import (
     cover_based_reformulation,
     cover_based_uscq_reformulation,
 )
-from repro.cost.cache import ReformulationCache
+from repro.cost.cache import CostCache, ReformulationCache
 from repro.cost.model import ExternalCostModel
 from repro.dllite.tbox import TBox
 
@@ -40,7 +40,17 @@ class CoverCostEstimator(ABC):
     By default each estimator owns a private one; an :class:`~repro.obda.
     system.OBDASystem` injects its shared instance so fragment work is
     reused across strategies, cost modes and queries.
+
+    ``cost_cache`` is the system-shared, epoch-stamped :class:`CostCache`:
+    an estimator instance lives for one search, but the covers it prices
+    recur across strategies and across repeated searches; *epoch* is the
+    system's data epoch at construction time, so estimates priced against
+    pre-write statistics are never reused after a write.
     """
+
+    #: Cost-mode marker separating this estimator's entries in the shared
+    #: cost cache (estimates from "ext" and "rdbms" are incomparable).
+    mode: str = "abstract"
 
     def __init__(
         self,
@@ -48,6 +58,8 @@ class CoverCostEstimator(ABC):
         minimize: bool = True,
         use_uscq: bool = False,
         fragment_cache: Optional[ReformulationCache] = None,
+        cost_cache: Optional[CostCache] = None,
+        epoch: Optional[int] = None,
     ):
         self.tbox = tbox
         self.minimize = minimize
@@ -57,6 +69,12 @@ class CoverCostEstimator(ABC):
         self.fragment_cache = (
             fragment_cache if fragment_cache is not None else ReformulationCache()
         )
+        self.cost_cache = cost_cache
+        self.epoch = epoch
+        # Cover keys are atom-index based, so shared-cache keys qualify
+        # them with the query's canonical key — computed once per query
+        # object (one search prices covers of a single query).
+        self._query_keys: Dict[int, Tuple] = {}
 
     def reformulate(self, cover: AnyCover):
         """The reformulation whose cost is being estimated."""
@@ -74,10 +92,32 @@ class CoverCostEstimator(ABC):
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        shared_key = None
+        if self.cost_cache is not None:
+            shared_key = (
+                self._query_key(cover.query),
+                key,
+                self.mode,
+                self.minimize,
+                self.use_uscq,
+            )
+            shared = self.cost_cache.get(shared_key, self.epoch)
+            if shared is not None:
+                self._cache[key] = shared
+                return shared
         self.calls += 1
         cost = self._estimate_uncached(cover)
         self._cache[key] = cost
+        if shared_key is not None:
+            self.cost_cache.put(shared_key, cost, self.epoch)
         return cost
+
+    def _query_key(self, query) -> Tuple:
+        cached = self._query_keys.get(id(query))
+        if cached is None:
+            cached = query.canonical_key()
+            self._query_keys[id(query)] = cached
+        return cached
 
     @abstractmethod
     def _estimate_uncached(self, cover: AnyCover) -> float:
@@ -87,6 +127,8 @@ class CoverCostEstimator(ABC):
 class ExternalCoverCost(CoverCostEstimator):
     """The paper's "ext" estimator: the external model on the logical plan."""
 
+    mode = "ext"
+
     def __init__(
         self,
         tbox: TBox,
@@ -94,12 +136,16 @@ class ExternalCoverCost(CoverCostEstimator):
         minimize: bool = True,
         use_uscq: bool = False,
         fragment_cache: Optional[ReformulationCache] = None,
+        cost_cache: Optional[CostCache] = None,
+        epoch: Optional[int] = None,
     ) -> None:
         super().__init__(
             tbox,
             minimize=minimize,
             use_uscq=use_uscq,
             fragment_cache=fragment_cache,
+            cost_cache=cost_cache,
+            epoch=epoch,
         )
         self.model = model
 
@@ -110,6 +156,8 @@ class ExternalCoverCost(CoverCostEstimator):
 class RDBMSCoverCost(CoverCostEstimator):
     """The paper's "RDBMS" estimator: EXPLAIN on the translated SQL."""
 
+    mode = "rdbms"
+
     def __init__(
         self,
         tbox: TBox,
@@ -118,12 +166,16 @@ class RDBMSCoverCost(CoverCostEstimator):
         minimize: bool = True,
         use_uscq: bool = False,
         fragment_cache: Optional[ReformulationCache] = None,
+        cost_cache: Optional[CostCache] = None,
+        epoch: Optional[int] = None,
     ) -> None:
         super().__init__(
             tbox,
             minimize=minimize,
             use_uscq=use_uscq,
             fragment_cache=fragment_cache,
+            cost_cache=cost_cache,
+            epoch=epoch,
         )
         self.backend = backend
         self.translator = translator

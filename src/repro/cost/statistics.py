@@ -10,7 +10,7 @@ and the RDF layout stores the same logical extensions in wide rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Set, Tuple
 
 from repro.dllite.abox import ABox
 
@@ -54,6 +54,22 @@ class DataStatistics:
             )
         stats.total_facts = len(abox)
         return stats
+
+    def refresh_predicate(self, name: str, rows: Set[Tuple]) -> None:
+        """Recompute one predicate's statistics from its current rows.
+
+        The write path calls this for every predicate a write touched, so
+        statistics stay exact without a full rescan; the data epoch tells
+        consumers which cached estimates became stale.
+        """
+        old = self._predicates.get(name)
+        self.total_facts += len(rows) - (old.cardinality if old else 0)
+        is_role = any(len(row) == 2 for row in rows)
+        self._predicates[name] = PredicateStatistics(
+            cardinality=len(rows),
+            distinct_subjects=len({row[0] for row in rows}),
+            distinct_objects=len({row[1] for row in rows}) if is_role else 0,
+        )
 
     def for_predicate(self, name: str) -> PredicateStatistics:
         """Statistics for *name*; absent predicates have empty extensions."""

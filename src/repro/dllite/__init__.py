@@ -38,7 +38,12 @@ from repro.dllite.axioms import (
 from repro.dllite.tbox import TBox
 from repro.dllite.abox import ABox, ConceptAssertion, RoleAssertion
 from repro.dllite.kb import KnowledgeBase, InconsistentKBError
-from repro.dllite.saturation import chase, certain_answers
+from repro.dllite.saturation import (
+    ChaseResult,
+    ChaseTruncatedError,
+    chase,
+    certain_answers,
+)
 from repro.dllite.parser import parse_axiom, parse_query, parse_tbox, parse_abox
 
 __all__ = [
@@ -46,6 +51,8 @@ __all__ = [
     "AtomicConcept",
     "Axiom",
     "BasicConcept",
+    "ChaseResult",
+    "ChaseTruncatedError",
     "ConceptAssertion",
     "ConceptInclusion",
     "Exists",

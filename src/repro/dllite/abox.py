@@ -70,6 +70,25 @@ class ABox:
         """Insert ``role(subject, obj)``."""
         self.add(RoleAssertion(role, subject, obj))
 
+    def remove(self, assertion: Assertion) -> bool:
+        """Remove one assertion; True when it was present.
+
+        Predicates whose last fact is removed keep an (empty) entry so the
+        schema view of the ABox is stable across deletes.
+        """
+        if isinstance(assertion, ConceptAssertion):
+            rows = self._concepts.get(assertion.concept)
+            row: Tuple = (assertion.individual,)
+        elif isinstance(assertion, RoleAssertion):
+            rows = self._roles.get(assertion.role)
+            row = (assertion.subject, assertion.object)
+        else:
+            raise TypeError(f"not an assertion: {assertion!r}")
+        if rows is None or row not in rows:
+            return False
+        rows.discard(row)
+        return True
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -82,11 +101,11 @@ class ABox:
         return self._roles.get(role, set())
 
     def concept_names(self) -> FrozenSet[str]:
-        """Concepts with at least one assertion."""
+        """Concepts that have (or once had) an assertion."""
         return frozenset(self._concepts)
 
     def role_names(self) -> FrozenSet[str]:
-        """Roles with at least one assertion."""
+        """Roles that have (or once had) an assertion."""
         return frozenset(self._roles)
 
     def individuals(self) -> FrozenSet[str]:

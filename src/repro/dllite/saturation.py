@@ -27,6 +27,31 @@ NULL_PREFIX = "_:null"
 FactStore = Dict[str, Set[Tuple]]
 
 
+class ChaseTruncatedError(RuntimeError):
+    """The chase hit its generation bound, so answers may be incomplete."""
+
+    def __init__(self, max_generations: int) -> None:
+        super().__init__(
+            f"chase truncated at max_generations={max_generations}: the TBox's "
+            "existential dependencies are cyclic at this bound, so certain "
+            "answers computed from this chase may be incomplete; raise "
+            "max_generations or pass on_truncation='ignore' to accept the "
+            "under-approximation"
+        )
+        self.max_generations = max_generations
+
+
+class ChaseResult(dict):
+    """A chased fact store that remembers whether the bound cut it short.
+
+    A plain ``dict`` subclass so every existing ``FactStore`` consumer
+    works unchanged; ``truncated`` is True when at least one existential
+    rule was suppressed by ``max_generations``.
+    """
+
+    truncated: bool = False
+
+
 def is_null(value: object) -> bool:
     """True for labeled nulls invented by the chase."""
     return isinstance(value, str) and value.startswith(NULL_PREFIX)
@@ -48,13 +73,17 @@ def _signed_pairs(store: FactStore, signed: Role) -> Set[Tuple[str, str]]:
     return set(rows)
 
 
-def chase(kb: KnowledgeBase, max_generations: int = 4) -> FactStore:
+def chase(kb: KnowledgeBase, max_generations: int = 4) -> ChaseResult:
     """Materialize entailed facts, bounding existential generations.
 
     ``max_generations`` limits how many times existential rules may fire on
     individuals that are themselves nulls (generation 0 = ABox constants).
+    The returned :class:`ChaseResult` sets ``truncated`` when the bound
+    actually suppressed a rule, so oracles can refuse to trust the result.
     """
-    store: FactStore = {k: set(v) for k, v in kb.abox.fact_store().items()}
+    store: ChaseResult = ChaseResult(
+        {k: set(v) for k, v in kb.abox.fact_store().items()}
+    )
     generation: Dict[str, int] = {}
     null_counter = itertools.count()
 
@@ -102,6 +131,7 @@ def chase(kb: KnowledgeBase, max_generations: int = 4) -> FactStore:
                 if member in already_witnessed:
                     continue
                 if gen_of(member) >= max_generations:
+                    store.truncated = True
                     continue
                 null = f"{NULL_PREFIX}{next(null_counter)}"
                 generation[null] = gen_of(member) + 1
@@ -114,13 +144,28 @@ def chase(kb: KnowledgeBase, max_generations: int = 4) -> FactStore:
 
 
 def certain_answers(
-    query: CQ, kb: KnowledgeBase, max_generations: int = 4
+    query: CQ,
+    kb: KnowledgeBase,
+    max_generations: int = 4,
+    on_truncation: str = "raise",
 ) -> Set[Tuple]:
     """Certain answers of *query* over *kb* via the bounded chase.
 
     Rows containing labeled nulls are filtered out: nulls witness existence
     but are not named individuals, hence cannot appear in certain answers.
+
+    When the chase hits its generation bound the result is only an
+    under-approximation; the default ``on_truncation="raise"`` turns that
+    into a :class:`ChaseTruncatedError` so oracle comparisons can never be
+    quietly wrong. Pass ``on_truncation="ignore"`` to accept the
+    approximation deliberately.
     """
+    if on_truncation not in ("raise", "ignore"):
+        raise ValueError(
+            f"on_truncation must be 'raise' or 'ignore', got {on_truncation!r}"
+        )
     store = chase(kb, max_generations=max_generations)
+    if store.truncated and on_truncation == "raise":
+        raise ChaseTruncatedError(max_generations)
     answers = evaluate_cq(query, store)
     return {row for row in answers if not any(is_null(value) for value in row)}

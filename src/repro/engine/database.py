@@ -54,6 +54,10 @@ class MiniRDBMS:
         """Bulk-insert rows into a table (duplicates ignored)."""
         self.catalog.table(name).insert_many(rows)
 
+    def delete_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-delete rows from a table; returns the removed count."""
+        return self.catalog.table(name).delete_many(rows)
+
     def create_index(self, name: str, columns: Sequence[str]) -> None:
         """Create a hash index on a table."""
         self.catalog.table(name).create_index(columns)

@@ -32,6 +32,17 @@ class Index:
     def _insert(self, row: Row) -> None:
         self._buckets.setdefault(self._key(row), []).append(row)
 
+    def _remove(self, row: Row) -> None:
+        bucket = self._buckets.get(self._key(row))
+        if bucket is None:
+            return
+        try:
+            bucket.remove(row)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[self._key(row)]
+
     def lookup(self, key: Tuple) -> List[Row]:
         """Rows whose indexed columns equal *key*."""
         return self._buckets.get(tuple(key), [])
@@ -73,6 +84,33 @@ class Table:
         """Bulk insert."""
         for row in rows:
             self.insert(row)
+
+    def delete(self, row: Sequence[Value]) -> bool:
+        """Remove one row; True when it was present."""
+        row = tuple(row)
+        if row not in self._row_set:
+            return False
+        self._row_set.discard(row)
+        self.rows.remove(row)
+        for index in self.indexes.values():
+            index._remove(row)
+        return True
+
+    def delete_many(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Bulk delete; returns how many rows were actually removed.
+
+        One pass over the stored rows for the whole batch (``delete`` in
+        a loop would rescan the row list per deleted row).
+        """
+        doomed = {tuple(row) for row in rows} & self._row_set
+        if not doomed:
+            return 0
+        self._row_set -= doomed
+        self.rows = [row for row in self.rows if row not in doomed]
+        for row in doomed:
+            for index in self.indexes.values():
+                index._remove(row)
+        return len(doomed)
 
     def create_index(self, columns: Sequence[str]) -> Index:
         """Create (or return the existing) hash index on *columns*."""

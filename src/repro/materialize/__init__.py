@@ -1,0 +1,21 @@
+"""Materialized saturation: the chase as a maintained, queryable store.
+
+The reformulation side of the repository answers queries by rewriting
+them against the raw ABox; this package is the other classic OBDA answer:
+saturate the data under the TBox once, keep the saturation current under
+writes, and run the *original* query unchanged (``strategy="sat"``), or
+let a cost model route each query to whichever side is cheaper
+(``strategy="auto"``).
+"""
+
+from repro.materialize.saturator import Fact, Saturator, fact_of
+from repro.materialize.router import RoutingDecision, SaturationRouter, pick
+
+__all__ = [
+    "Fact",
+    "RoutingDecision",
+    "SaturationRouter",
+    "Saturator",
+    "fact_of",
+    "pick",
+]

@@ -1,0 +1,87 @@
+"""The sat-vs-reformulation router behind ``strategy="auto"``.
+
+Gottlob et al. ("Ontological Queries: Rewriting and Optimization")
+motivate choosing between *rewriting* (the paper's cost-picked covers)
+and *materialization* (answering the original CQ over saturated tables)
+per query. With an incrementally maintained saturation both options are
+always live, so the choice reduces to comparing two cost estimates in the
+same currency the cover search already uses:
+
+* **saturation cost** — the original CQ evaluated over the saturated
+  tables: the external model priced with statistics of the *stored*
+  (saturated) extensions, or the backend's own EXPLAIN estimate;
+* **reformulation cost** — the best cover the GDL search found (its
+  ``SearchResult.cost``, same estimator family).
+
+The router only prices the saturation side; the caller runs the search it
+would have run anyway and then asks :func:`pick` for the verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cost.model import ExternalCostModel
+from repro.queries.cq import CQ
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """What ``auto`` compared and where it sent the query."""
+
+    routed_to: str  # "sat" or the reformulation strategy's name
+    saturation_cost: float
+    reformulation_cost: float
+
+
+class SaturationRouter:
+    """Prices direct-over-saturation answering for the auto strategy."""
+
+    def __init__(self, translator, backend) -> None:
+        self.translator = translator
+        self.backend = backend
+
+    def saturation_sql(self, query: CQ) -> str:
+        """The SQL answering *query* directly over the saturated tables."""
+        return self.translator.cq_to_sql(query)
+
+    def saturation_cost(
+        self,
+        query: CQ,
+        cost: str,
+        saturated_model: Optional[ExternalCostModel] = None,
+    ) -> float:
+        """Estimated cost of the direct plan under the given cost mode.
+
+        ``saturated_model`` must be an external model whose statistics
+        describe the saturated extensions (the base-ABox model would
+        undercount what the tables actually hold).
+        """
+        if cost == "rdbms":
+            from repro.engine.errors import StatementTooLongError
+
+            try:
+                return self.backend.estimated_cost(self.saturation_sql(query))
+            except StatementTooLongError:
+                return math.inf
+        if saturated_model is None:
+            raise ValueError(
+                "saturation_cost with cost='ext' needs the saturated-statistics "
+                "cost model"
+            )
+        return saturated_model.estimate(query)
+
+
+def pick(
+    saturation_cost: float, reformulation_cost: float, fallback: str
+) -> RoutingDecision:
+    """Route to the cheaper side; ties go to saturation (no search to
+    re-run, no fragment joins, strictly simpler SQL)."""
+    routed_to = "sat" if saturation_cost <= reformulation_cost else fallback
+    return RoutingDecision(
+        routed_to=routed_to,
+        saturation_cost=saturation_cost,
+        reformulation_cost=reformulation_cost,
+    )

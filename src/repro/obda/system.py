@@ -13,15 +13,33 @@ The pipeline per query (Figure 1 of the paper):
 Every step is timed; :class:`AnswerReport` carries the numbers the
 benchmark harness prints.
 
-Two layers of shared work make repeated and batched traffic cheap:
+Two further strategies answer over a **materialized saturation** (see
+:mod:`repro.materialize`): ``"sat"`` chases the TBox into the backend as
+extra stored tuples and runs the *original* CQ unchanged; ``"auto"``
+routes each query to saturation or the cheapest reformulation by cost.
+
+Three layers of shared work make repeated and batched traffic cheap:
 
 * a fragment-level :class:`~repro.cost.cache.ReformulationCache` shared by
   every estimator and strategy this system creates, so a fragment query is
   run through PerfectRef once per system, not once per cover;
+* a cover-level :class:`~repro.cost.cache.CostCache` shared the same way,
+  so a cover priced by one search is free for the next;
 * a :class:`~repro.serving.plan_cache.PlanCache` of finished
   :class:`ReformulationChoice` objects, so answering a query a second time
   skips search and SQL translation entirely (see :meth:`OBDASystem.
   answer_many` for the batched entry point).
+
+The system is also **writable**: :meth:`OBDASystem.insert_facts` /
+:meth:`OBDASystem.delete_facts` update the ABox, incrementally maintain
+the saturation (delta chase on insert, delete/re-derive on delete), and
+advance a monotonically increasing **data epoch**. Every cache entry
+whose validity depends on the data — cost-picked plans, cover costs,
+statistics-derived estimates — is stamped with the epoch it was computed
+under and lazily dropped when read under a newer one; data-independent
+entries (UCQ/Croot/sat plans, fragment reformulations) survive every
+write. A write therefore never leaves a stale plan or statistic servable,
+and never costs a full-cache flush.
 """
 
 from __future__ import annotations
@@ -42,26 +60,43 @@ from repro.cost.estimators import (
     ExternalCoverCost,
     RDBMSCoverCost,
 )
-from repro.cost.cache import DEFAULT_FRAGMENT_CACHE_CAPACITY, ReformulationCache
+from repro.cost.cache import (
+    CostCache,
+    DEFAULT_FRAGMENT_CACHE_CAPACITY,
+    ReformulationCache,
+)
 from repro.cost.model import ExternalCostModel
 from repro.cost.statistics import DataStatistics
-from repro.dllite.abox import ABox
-from repro.dllite.kb import KnowledgeBase
+from repro.dllite.abox import (
+    ABox,
+    Assertion,
+    ConceptAssertion,
+    RoleAssertion,
+)
+from repro.dllite.kb import InconsistentKBError, KnowledgeBase
 from repro.dllite.parser import parse_abox, parse_query, parse_tbox
+from repro.dllite.saturation import ChaseTruncatedError, is_null
 from repro.dllite.tbox import TBox
+from repro.materialize.router import RoutingDecision, SaturationRouter, pick
+from repro.materialize.saturator import Fact, Saturator, fact_of as _fact_of
 from repro.optimizer.edl import edl_search
 from repro.optimizer.gdl import gdl_search
 from repro.optimizer.result import SearchResult
 from repro.queries.cq import CQ
+from repro.queries.terms import is_variable
 from repro.reformulation.perfectref import reformulate_to_ucq
 from repro.serving.plan_cache import PlanCache
 from repro.sql.translator import SQLTranslator
-from repro.storage.layouts import RDFLayout, SimpleLayout
+from repro.storage.layouts import LayoutData, RDFLayout, SimpleLayout, TableSpec
 from repro.storage.memory_backend import MemoryBackend
 from repro.storage.sqlite_backend import SQLiteBackend
 
-STRATEGIES = ("ucq", "croot", "gdl", "edl")
+STRATEGIES = ("ucq", "croot", "gdl", "edl", "sat", "auto")
 COST_MODES = ("ext", "rdbms")
+
+#: Strategies whose chosen reformulation does not depend on data
+#: statistics; their cached plans survive writes (epoch stamp ``None``).
+DATA_INDEPENDENT_STRATEGIES = frozenset({"ucq", "croot", "sat"})
 
 #: Default cap on the generalized covers EDL enumerates. Kept as a named
 #: constant because the plan cache only stores plans computed with this
@@ -79,28 +114,40 @@ class ReformulationChoice:
     search: Optional[SearchResult] = None
     reformulation_seconds: float = 0.0
     plan_cache_hit: bool = False
+    #: For ``strategy="auto"``: the costs compared and the winner.
+    routing: Optional[RoutingDecision] = None
 
 
 @dataclass
 class AnswerReport:
     """Answers plus per-stage timings and cache accounting."""
 
-    query: CQ
-    choice: ReformulationChoice
+    #: The answered query; on a collected parse failure, the raw input.
+    query: Union[CQ, str]
+    choice: Optional[ReformulationChoice]
     answers: Set[Tuple]
     execution_seconds: float = 0.0
     #: Snapshot of the system's plan- and fragment-cache counters at
     #: answer time: ``{"plan": {...}, "fragments": {...}}``.
     cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: The exception this query raised, when ``answer_many`` ran with
+    #: ``on_error="collect"``; ``None`` on success (then ``choice`` is set).
+    error: Optional[BaseException] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this report carries an error instead of answers."""
+        return self.error is not None
 
     @property
     def plan_cache_hit(self) -> bool:
         """Whether this answer reused a cached plan (no search, no SQL gen)."""
-        return self.choice.plan_cache_hit
+        return self.choice is not None and self.choice.plan_cache_hit
 
     @property
     def total_seconds(self) -> float:
-        return self.choice.reformulation_seconds + self.execution_seconds
+        reformulation = self.choice.reformulation_seconds if self.choice else 0.0
+        return reformulation + self.execution_seconds
 
 
 class OBDASystem:
@@ -115,8 +162,14 @@ class OBDASystem:
         rdf_width: int = 8,
         check_consistency: bool = False,
         plan_cache_size: int = 256,
+        materialize: bool = False,
+        max_generations: int = 4,
     ) -> None:
         self.kb = KnowledgeBase(tbox, abox)
+        #: When True, every insert_facts re-validates the disjointness
+        #: constraints (deletes cannot introduce violations), so the
+        #: construction-time guarantee survives the write workload.
+        self.check_consistency = check_consistency
         if check_consistency:
             self.kb.check_consistency()
 
@@ -140,7 +193,9 @@ class OBDASystem:
         else:
             self.backend = backend
 
-        self.backend.load(self.layout.build(abox, tbox))
+        data = self.layout.build(abox, tbox)
+        self.backend.load(data)
+        self._table_names = {spec.name for spec in data.tables}
         self.translator = SQLTranslator(self.layout)
         self.statistics = DataStatistics.from_abox(abox)
         self.cost_model = ExternalCostModel(self.statistics)
@@ -151,6 +206,9 @@ class OBDASystem:
         self.reformulation_cache = ReformulationCache(
             capacity=DEFAULT_FRAGMENT_CACHE_CAPACITY
         )
+        #: Cover costs shared across searches, epoch-stamped (a write makes
+        #: estimates computed against the old statistics unreachable).
+        self.cost_cache = CostCache()
         #: Finished plans: repeated queries skip search and translation.
         self.plan_cache = PlanCache(plan_cache_size)
         # Single-flight guards: concurrent answer_many() workers asking for
@@ -158,6 +216,201 @@ class OBDASystem:
         # and the rest hit the cache instead of racing duplicate searches.
         self._plan_locks: Dict[Tuple, threading.Lock] = {}
         self._plan_locks_guard = threading.Lock()
+
+        #: Monotonically increasing data epoch: advanced by every write
+        #: that changes anything (and by enabling materialization), read
+        #: by every epoch-stamped cache. Never reset.
+        self.data_epoch = 0
+        self.max_generations = max_generations
+        self._saturator: Optional[Saturator] = None
+        self._router = SaturationRouter(self.translator, self.backend)
+        self._write_lock = threading.Lock()
+        if materialize:
+            self.enable_materialization()
+
+    # ------------------------------------------------------------------
+    # Materialized saturation and the write path
+    # ------------------------------------------------------------------
+    @property
+    def materialized(self) -> bool:
+        """Whether the backend currently holds the saturated tables."""
+        return self._saturator is not None
+
+    def enable_materialization(self) -> None:
+        """Chase the TBox into the backend as extra stored tuples.
+
+        Idempotent. Called eagerly by ``materialize=True`` or lazily by the
+        first ``sat``/``auto`` query. Requires the simple layout (the only
+        layout with a per-predicate write path). After this, all write
+        methods maintain the saturation incrementally.
+        """
+        with self._write_lock:
+            if self._saturator is not None:
+                return
+            if not isinstance(self.layout, SimpleLayout):
+                raise ValueError(
+                    "materialized saturation requires the simple layout; "
+                    f"got {type(self.layout).__name__}"
+                )
+            saturator = Saturator(
+                self.kb.tbox, self.kb.abox, max_generations=self.max_generations
+            )
+            derived = saturator.saturate()
+            self._saturator = saturator
+            self._apply_write(derived, set())
+
+    def insert_facts(self, assertions: Sequence[Union[Assertion, Tuple]]) -> int:
+        """Insert ABox facts; returns how many were genuinely new.
+
+        Maintains the materialized saturation incrementally (a delta chase
+        derives only consequences of the new facts), mirrors the changed
+        tuples into the backend, refreshes statistics for the touched
+        predicates and advances the data epoch — all under the write lock,
+        so no stale plan, statistic or cover cost is ever served afterwards.
+        A call that changes nothing leaves every cache intact.
+        """
+        parsed = [self._as_assertion(a) for a in assertions]
+        with self._write_lock:
+            self._check_writable()
+            new = list(
+                dict.fromkeys(a for a in parsed if a not in self.kb.abox)
+            )
+            if not new:
+                return 0
+            for assertion in new:
+                self.kb.abox.add(assertion)
+            if self.check_consistency:
+                violated = self.kb.first_violated_constraint()
+                if violated is not None:
+                    # Roll back before any other state diverges: the
+                    # saturator, backend and epoch have not been touched,
+                    # and every assertion in `new` was previously absent.
+                    for assertion in new:
+                        self.kb.abox.remove(assertion)
+                    raise InconsistentKBError(violated)
+            if self._saturator is not None:
+                added, removed = self._saturator.insert(new)
+            else:
+                added, removed = {_fact_of(a) for a in new}, set()
+            self._apply_write(added, removed)
+            return len(new)
+
+    def delete_facts(self, assertions: Sequence[Union[Assertion, Tuple]]) -> int:
+        """Delete ABox facts; returns how many were actually present.
+
+        With materialization enabled this is DRed-style incremental
+        maintenance: the deleted facts' consequences are over-deleted, the
+        still-derivable ones re-derived — never a full re-saturation.
+        Derived facts that remain entailed by other base facts stay put.
+        """
+        parsed = [self._as_assertion(a) for a in assertions]
+        with self._write_lock:
+            self._check_writable()
+            present = list(
+                dict.fromkeys(a for a in parsed if a in self.kb.abox)
+            )
+            if not present:
+                return 0
+            for assertion in present:
+                self.kb.abox.remove(assertion)
+            if self._saturator is not None:
+                added, removed = self._saturator.delete(present)
+            else:
+                added, removed = set(), {_fact_of(a) for a in present}
+            self._apply_write(added, removed)
+            return len(present)
+
+    def _as_assertion(self, value: Union[Assertion, Tuple]) -> Assertion:
+        """Accept ``ConceptAssertion``/``RoleAssertion`` or plain tuples
+        ``("C", "a")`` / ``("R", "a", "b")``."""
+        if isinstance(value, (ConceptAssertion, RoleAssertion)):
+            return value
+        if isinstance(value, tuple) and len(value) == 2:
+            return ConceptAssertion(*value)
+        if isinstance(value, tuple) and len(value) == 3:
+            return RoleAssertion(*value)
+        raise TypeError(f"not an assertion: {value!r}")
+
+    def _check_writable(self) -> None:
+        """Reject writes up front — before any state is mutated — so a
+        failed write can never leave the ABox and backend out of step."""
+        if not isinstance(self.layout, SimpleLayout):
+            raise ValueError(
+                "the write path requires the simple layout; "
+                f"got {type(self.layout).__name__}"
+            )
+
+    def _apply_write(self, added: Set[Fact], removed: Set[Fact]) -> None:
+        """Mirror store deltas into the backend and invalidate by epoch.
+
+        Caller holds the write lock. No-op (epoch untouched) when both
+        deltas are empty: a write that changed nothing invalidates nothing.
+        """
+        if not added and not removed:
+            return
+        inserts = self._rows_by_table(added)
+        deletes = self._rows_by_table(removed)
+        for table in (*inserts, *deletes):
+            self._ensure_table(table)
+        # One atomic backend operation: concurrent readers see the whole
+        # write or none of it (both backends serialize reads against it).
+        self.backend.apply_changes(inserts, deletes)
+        self._refresh_statistics(
+            {predicate for predicate, _ in added}
+            | {predicate for predicate, _ in removed}
+        )
+        self.data_epoch += 1
+
+    def _rows_by_table(self, facts: Set[Fact]) -> Dict[str, List[Tuple]]:
+        """Group facts per backend table, dictionary-encoded."""
+        encode = self.layout.dictionary.encode
+        grouped: Dict[str, List[Tuple]] = {}
+        for predicate, row in sorted(facts):
+            if len(row) == 1:
+                table = self.layout.concept_table(predicate)
+            else:
+                table = self.layout.role_table(predicate)
+            grouped.setdefault(table, []).append(
+                tuple(encode(value) for value in row)
+            )
+        return grouped
+
+    def _ensure_table(self, table: str) -> None:
+        """Create a table for a predicate outside the loaded schema."""
+        if table in self._table_names:
+            return
+        if table.startswith("c_"):
+            spec = TableSpec(name=table, columns=("s",), rows=[], indexes=(("s",),))
+        else:
+            spec = TableSpec(
+                name=table,
+                columns=("s", "o"),
+                rows=[],
+                indexes=(("s",), ("o",), ("s", "o")),
+            )
+        self.backend.load(LayoutData(tables=[spec]))
+        self._table_names.add(table)
+
+    def _refresh_statistics(self, predicates: Set[str]) -> None:
+        """Recompute logical statistics for the predicates a write touched.
+
+        Statistics describe what the backend *stores*: base facts plus,
+        under materialization, the derived tuples — that is what cost
+        estimates are estimates of.
+        """
+        if self._saturator is not None:
+            store = self._saturator.store
+            for predicate in predicates:
+                self.statistics.refresh_predicate(
+                    predicate, store.get(predicate, set())
+                )
+            return
+        abox = self.kb.abox
+        for predicate in predicates:
+            rows: Set[Tuple] = set(abox.concept_facts(predicate)) or set(
+                abox.role_facts(predicate)
+            )
+            self.statistics.refresh_predicate(predicate, rows)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -178,6 +431,8 @@ class OBDASystem:
                 minimize=minimize,
                 use_uscq=use_uscq,
                 fragment_cache=self.reformulation_cache,
+                cost_cache=self.cost_cache,
+                epoch=self.data_epoch,
             )
         if cost == "rdbms":
             return RDBMSCoverCost(
@@ -187,6 +442,8 @@ class OBDASystem:
                 minimize=minimize,
                 use_uscq=use_uscq,
                 fragment_cache=self.reformulation_cache,
+                cost_cache=self.cost_cache,
+                epoch=self.data_epoch,
             )
         raise ValueError(f"unknown cost mode {cost!r}; expected one of {COST_MODES}")
 
@@ -195,6 +452,15 @@ class OBDASystem:
     ) -> Tuple:
         """The plan-cache key: canonical query plus every plan-shaping flag."""
         return (query.canonical_key(), strategy, cost, minimize, use_uscq)
+
+    def _has_unencoded_constants(self, query: CQ) -> bool:
+        """Whether the query names a constant the dictionary has not seen."""
+        dictionary = self.layout.dictionary
+        return any(
+            not is_variable(term) and dictionary.try_encode(term.value) is None
+            for atom in query.atoms
+            for term in atom.args
+        )
 
     def reformulate(
         self,
@@ -220,6 +486,14 @@ class OBDASystem:
         """
         if isinstance(query, str):
             query = parse_query(query)
+        if strategy in ("sat", "auto") and self._saturator is None:
+            # Before epoch capture: enabling materialization advances the
+            # epoch, and the plan must be stamped with the post-enable one.
+            self.enable_materialization()
+        # The epoch this plan is computed under. Captured *before* the
+        # computation: if a concurrent write lands mid-search, the stored
+        # plan is already stale and the stamp makes the next get() drop it.
+        epoch = self.data_epoch
         cacheable = (
             use_plan_cache
             and time_budget_seconds is None
@@ -241,7 +515,7 @@ class OBDASystem:
         try:
             with flight_lock:
                 lookup_started = time.perf_counter()
-                cached = self.plan_cache.get(plan_key)
+                cached = self.plan_cache.get(plan_key, self.data_epoch)
                 if cached is not None:
                     return replace(
                         cached,
@@ -257,7 +531,17 @@ class OBDASystem:
                     time_budget_seconds,
                     generalized_limit,
                 )
-                self.plan_cache.put(plan_key, choice)
+                data_independent = (
+                    strategy in DATA_INDEPENDENT_STRATEGIES
+                    # A constant the dictionary has never seen translates
+                    # to an impossible code; a later write may introduce
+                    # it, so such a plan's SQL is *not* write-proof. (Codes
+                    # of already-encoded constants are stable forever —
+                    # the dictionary is append-only.)
+                    and not self._has_unencoded_constants(query)
+                )
+                stamp = None if data_independent else epoch
+                self.plan_cache.put(plan_key, choice, stamp)
                 return choice
         finally:
             with self._plan_locks_guard:
@@ -276,8 +560,45 @@ class OBDASystem:
         """The uncached reformulate-translate pipeline."""
         started = time.perf_counter()
         search: Optional[SearchResult] = None
+        routing: Optional[RoutingDecision] = None
 
-        if strategy == "ucq":
+        if strategy == "sat":
+            # Answer the original CQ directly over the saturated tables;
+            # nulls are filtered at decode time. A truncated chase would
+            # under-approximate the certain answers, so refuse it loudly
+            # (same contract as the certain_answers oracle).
+            if self._saturator.truncated:
+                raise ChaseTruncatedError(self.max_generations)
+            reformulation: object = query
+        elif strategy == "auto":
+            estimator = self._estimator(cost, minimize, use_uscq)
+            search = gdl_search(
+                query,
+                self.kb.tbox,
+                estimator,
+                time_budget_seconds=time_budget_seconds,
+            )
+            if self._saturator.truncated:
+                # Saturation is incomplete at this generation bound;
+                # reformulation is the only complete side, whatever the
+                # costs say.
+                routing = RoutingDecision(
+                    routed_to="gdl",
+                    saturation_cost=float("inf"),
+                    reformulation_cost=search.cost,
+                )
+            else:
+                saturated_model = self.cost_model if cost == "ext" else None
+                routing = pick(
+                    self._router.saturation_cost(query, cost, saturated_model),
+                    search.cost,
+                    "gdl",
+                )
+            if routing.routed_to == "sat":
+                reformulation = query
+            else:
+                reformulation = estimator.reformulate(search.cover)
+        elif strategy == "ucq":
             ucq_key = (query.head, query.atoms, minimize)
             reformulation = self.reformulation_cache.get(ucq_key)
             if reformulation is None:
@@ -326,6 +647,7 @@ class OBDASystem:
             sql=sql,
             search=search,
             reformulation_seconds=elapsed,
+            routing=routing,
         )
 
     # ------------------------------------------------------------------
@@ -351,19 +673,22 @@ class OBDASystem:
             time_budget_seconds=time_budget_seconds,
             use_plan_cache=use_plan_cache,
         )
+        self._check_saturation_complete(choice)
         started = time.perf_counter()
         rows = self.backend.execute(choice.sql)
         execution = time.perf_counter() - started
+        # Re-checked *after* execution: a write may have truncated the
+        # saturation between the first check and the table read, and the
+        # rows would then under-approximate. (A write landing after this
+        # point is fine — the answer is the valid pre-write one.)
+        self._check_saturation_complete(choice)
         answers = self._decode(query, rows)
         return AnswerReport(
             query=query,
             choice=choice,
             answers=answers,
             execution_seconds=execution,
-            cache_stats={
-                "plan": self.plan_cache.stats(),
-                "fragments": self.reformulation_cache.stats(),
-            },
+            cache_stats=self.cache_stats(),
         )
 
     def answer_many(
@@ -375,6 +700,7 @@ class OBDASystem:
         use_uscq: bool = False,
         use_plan_cache: bool = True,
         max_workers: Optional[int] = None,
+        on_error: str = "raise",
     ) -> List[AnswerReport]:
         """Answer a batch of queries, reports in input order.
 
@@ -384,43 +710,94 @@ class OBDASystem:
         guards its connection — so concurrent batches return exactly the
         sequential answers. Duplicate queries in one batch are where the
         plan cache shines: one cold plan, the rest hits.
-        """
-        parsed = [
-            parse_query(query) if isinstance(query, str) else query
-            for query in queries
-        ]
 
-        def one(query: CQ) -> AnswerReport:
-            return self.answer(
-                query,
-                strategy=strategy,
-                cost=cost,
-                minimize=minimize,
-                use_uscq=use_uscq,
-                use_plan_cache=use_plan_cache,
+        ``on_error`` decides what one failing query does to the batch:
+        ``"raise"`` (the default) propagates its exception, ``"collect"``
+        records it on that query's :class:`AnswerReport` (``error`` set,
+        ``answers`` empty) and lets the rest of the batch finish.
+        """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
             )
 
-        if max_workers is not None and max_workers > 1 and len(parsed) > 1:
+        def one(query: Union[str, CQ]) -> AnswerReport:
+            # Parsing happens inside the guard: a malformed query string is
+            # just another failure this query's report should carry.
+            try:
+                parsed = parse_query(query) if isinstance(query, str) else query
+                return self.answer(
+                    parsed,
+                    strategy=strategy,
+                    cost=cost,
+                    minimize=minimize,
+                    use_uscq=use_uscq,
+                    use_plan_cache=use_plan_cache,
+                )
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                return AnswerReport(
+                    query=query,
+                    choice=None,
+                    answers=set(),
+                    cache_stats=self.cache_stats(),
+                    error=exc,
+                )
+
+        if max_workers is not None and max_workers > 1 and len(queries) > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(one, parsed))
-        return [one(query) for query in parsed]
+                return list(pool.map(one, queries))
+        return [one(query) for query in queries]
+
+    def _check_saturation_complete(self, choice: ReformulationChoice) -> None:
+        """Refuse to *execute* a saturation-backed plan over a truncated
+        chase.
+
+        Plan-time checks are not enough: a ``sat`` plan is cached without
+        an epoch stamp (its SQL is write-proof), but a later write can
+        make the saturation truncated — the guard must sit on the
+        execution path, where the current store state is known.
+        """
+        uses_saturation = choice.strategy == "sat" or (
+            choice.routing is not None and choice.routing.routed_to == "sat"
+        )
+        if (
+            uses_saturation
+            and self._saturator is not None
+            and self._saturator.truncated
+        ):
+            raise ChaseTruncatedError(self.max_generations)
 
     def execute_choice(self, query: CQ, choice: ReformulationChoice) -> Set[Tuple]:
         """Evaluate an already-made reformulation choice (bench harness)."""
+        self._check_saturation_complete(choice)
         rows = self.backend.execute(choice.sql)
+        self._check_saturation_complete(choice)  # see answer()
         return self._decode(query, rows)
 
     def _decode(self, query: CQ, rows: List[Tuple]) -> Set[Tuple]:
         if not query.head:
             return {()} if rows else set()
-        return {self.layout.dictionary.decode_row(row) for row in rows}
+        decoded = {self.layout.dictionary.decode_row(row) for row in rows}
+        if self._saturator is not None:
+            # Saturated tables contain labeled nulls (existential
+            # witnesses); they assert existence, not identity, so rows
+            # naming them are not certain answers.
+            decoded = {
+                row
+                for row in decoded
+                if not any(is_null(value) for value in row)
+            }
+        return decoded
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Current plan- and fragment-cache counters."""
+        """Current plan-, fragment- and cost-cache counters."""
         return {
             "plan": self.plan_cache.stats(),
             "fragments": self.reformulation_cache.stats(),
+            "costs": self.cost_cache.stats(),
         }
 
     def close(self) -> None:
@@ -428,6 +805,7 @@ class OBDASystem:
         self.backend.close()
         self.plan_cache.clear()
         self.reformulation_cache.clear()
+        self.cost_cache.clear()
 
     def __enter__(self) -> "OBDASystem":
         return self

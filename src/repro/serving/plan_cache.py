@@ -12,64 +12,33 @@ ReformulationChoice` — reformulation, SQL and search result — so a hit
 skips the whole reformulate-translate pipeline. Eviction is
 least-recently-used; capacity bounds memory for long-lived serving
 processes.
+
+**Writes and the data epoch.** A plan chosen by a cost-based search (GDL,
+EDL, the ``auto`` router) is only the *best* plan for the statistics it
+was priced against, so the system stores it stamped with its data epoch;
+data-independent plans (``ucq``, ``croot``, ``sat`` — over fully encoded
+constants) are stored with ``epoch=None`` and survive every write. The
+stale-dropping rule lives in the shared :class:`~repro.cost.cache.
+EpochLRU` base.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict
+
+from repro.cost.cache import EpochLRU
 
 
-class PlanCache:
+class PlanCache(EpochLRU):
     """LRU mapping plan keys to cached plans, with hit/miss counters."""
 
     def __init__(self, capacity: int = 256) -> None:
-        if capacity < 1:
+        if capacity is None or capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
-        self.capacity = capacity
-        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key: Tuple) -> Optional[object]:
-        """The cached plan for *key*, or ``None``; refreshes recency."""
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
-
-    def put(self, key: Tuple, plan: object) -> None:
-        """Insert (or refresh) *key*, evicting the LRU entry if full."""
-        with self._lock:
-            self._entries[key] = plan
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
-
-    def clear(self) -> None:
-        """Drop all entries and reset the counters."""
-        with self._lock:
-            self._entries.clear()
-            self.hits = 0
-            self.misses = 0
+        super().__init__(capacity)
 
     def stats(self) -> Dict[str, int]:
         """A snapshot of the counters (reported on ``AnswerReport``)."""
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        snapshot = super().stats()
+        snapshot["capacity"] = self.capacity
+        return snapshot

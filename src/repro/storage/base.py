@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.storage.layouts import LayoutData
 
@@ -33,6 +33,33 @@ class Backend(ABC):
     def estimated_cost(self, sql: str) -> float:
         """The backend's own cost estimate for *sql* (the paper's
         "RDBMS cost estimation" — ``explain`` / ``db2expln``)."""
+
+    @abstractmethod
+    def insert_rows(self, table: str, rows: List[Row]) -> None:
+        """Insert encoded rows into a loaded table (set semantics:
+        already-present rows are ignored) and refresh its statistics."""
+
+    @abstractmethod
+    def delete_rows(self, table: str, rows: List[Row]) -> int:
+        """Delete encoded rows from a loaded table, returning how many
+        were actually removed, and refresh its statistics."""
+
+    def apply_changes(
+        self,
+        inserts: Dict[str, List[Row]],
+        deletes: Dict[str, List[Row]],
+    ) -> None:
+        """Apply a multi-table write **atomically with respect to reads**.
+
+        Both concrete backends override this so a concurrently executing
+        query observes either the full pre-write or the full post-write
+        state, never a half-applied mix. The base implementation is the
+        non-atomic fallback for minimal third-party backends.
+        """
+        for table, rows in inserts.items():
+            self.insert_rows(table, rows)
+        for table, rows in deletes.items():
+            self.delete_rows(table, rows)
 
     def close(self) -> None:
         """Release any resources held by the backend.

@@ -8,6 +8,7 @@ queries exceed, reproducing the paper's §6.3 failures.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 from repro.engine.database import DB2_STATEMENT_LIMIT, MiniRDBMS
@@ -17,7 +18,13 @@ from repro.storage.layouts import LayoutData
 
 
 class MemoryBackend(Backend):
-    """The from-scratch engine as a loadable backend."""
+    """The from-scratch engine as a loadable backend.
+
+    The engine's tables are plain Python structures, so reads and writes
+    serialize behind one lock: a query scanning a table can never observe
+    a half-applied write. (Execution is pure Python and GIL-bound, so the
+    lock costs ``answer_many`` threads no real parallelism.)
+    """
 
     name = "minirdbms"
 
@@ -30,20 +37,39 @@ class MemoryBackend(Backend):
             max_statement_length=max_statement_length,
             cost_parameters=cost_parameters,
         )
+        self._lock = threading.RLock()
 
     def load(self, data: LayoutData) -> None:
-        for spec in data.tables:
-            self.db.create_table(spec.name, spec.columns)
-            self.db.insert_many(spec.name, spec.rows)
-            for index_columns in spec.indexes:
-                self.db.create_index(spec.name, index_columns)
-        self.db.analyze()
+        with self._lock:
+            for spec in data.tables:
+                self.db.create_table(spec.name, spec.columns)
+                self.db.insert_many(spec.name, spec.rows)
+                for index_columns in spec.indexes:
+                    self.db.create_index(spec.name, index_columns)
+            self.db.analyze()
+
+    def insert_rows(self, table: str, rows: List[Row]) -> None:
+        with self._lock:
+            self.db.insert_many(table, rows)
+            self.db.analyze(table)
+
+    def delete_rows(self, table: str, rows: List[Row]) -> int:
+        with self._lock:
+            removed = self.db.delete_many(table, rows)
+            self.db.analyze(table)
+            return removed
+
+    def apply_changes(self, inserts, deletes) -> None:
+        with self._lock:  # one critical section for the whole write
+            super().apply_changes(inserts, deletes)
 
     def execute(self, sql: str) -> List[Row]:
-        return self.db.execute(sql)
+        with self._lock:
+            return self.db.execute(sql)
 
     def estimated_cost(self, sql: str) -> float:
-        return self.db.estimated_cost(sql)
+        with self._lock:
+            return self.db.estimated_cost(sql)
 
     def explain_text(self, sql: str) -> str:
         """The engine's EXPLAIN rendering (plan tree with estimates)."""

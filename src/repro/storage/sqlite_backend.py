@@ -84,6 +84,13 @@ class SQLiteBackend(Backend):
             cursor.executemany(
                 f"INSERT INTO {spec.name} VALUES ({placeholders})", spec.rows
             )
+            # A unique index over the full row makes the write path's
+            # INSERT OR IGNORE enforce set semantics (the logical model:
+            # relations are sets of facts).
+            cursor.execute(
+                f"CREATE UNIQUE INDEX IF NOT EXISTS ux_{spec.name} "
+                f"ON {spec.name} ({', '.join(spec.columns)})"
+            )
             for index_columns in spec.indexes:
                 index_name = f"ix_{spec.name}_{'_'.join(index_columns)}"
                 cursor.execute(
@@ -101,6 +108,82 @@ class SQLiteBackend(Backend):
             self._shadow.catalog.set_statistics(spec.name, stats)
         cursor.execute("ANALYZE")
         self._connection.commit()
+
+    # ------------------------------------------------------------------
+    def insert_rows(self, table: str, rows: List[Row]) -> None:
+        if not rows:
+            return
+        with self._connection_lock:
+            self._insert_rows_locked(table, rows)
+            self._connection.commit()
+
+    def delete_rows(self, table: str, rows: List[Row]) -> int:
+        if not rows:
+            return 0
+        with self._connection_lock:
+            removed = self._delete_rows_locked(table, rows)
+            self._connection.commit()
+        return removed
+
+    def apply_changes(self, inserts, deletes) -> None:
+        """One lock hold + one commit for the whole multi-table write, so
+        a concurrent :meth:`execute` (which also takes the connection
+        lock) sees the pre- or post-write state, never a mix."""
+        with self._connection_lock:
+            for table, rows in inserts.items():
+                self._insert_rows_locked(table, rows)
+            for table, rows in deletes.items():
+                self._delete_rows_locked(table, rows)
+            self._connection.commit()
+
+    def _insert_rows_locked(self, table: str, rows: List[Row]) -> int:
+        """INSERT OR IGNORE a batch and fold the delta into the shadow
+        statistics. Connection lock held by the caller; no commit."""
+        columns = self._shadow.catalog.table(table).columns
+        placeholders = ", ".join("?" for _ in columns)
+        cursor = self._cursor()
+        cursor.executemany(
+            f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})", rows
+        )
+        # rowcount aggregates across executemany; OR IGNOREd duplicates
+        # do not count as modifications.
+        inserted = max(cursor.rowcount, 0)
+        self._adjust_shadow_statistics(table, columns, inserted=inserted)
+        return inserted
+
+    def _delete_rows_locked(self, table: str, rows: List[Row]) -> int:
+        """DELETE a batch and fold the delta into the shadow statistics.
+        Connection lock held by the caller; no commit."""
+        columns = self._shadow.catalog.table(table).columns
+        predicate = " AND ".join(f"{c} = ?" for c in columns)
+        cursor = self._cursor()
+        cursor.executemany(f"DELETE FROM {table} WHERE {predicate}", rows)
+        removed = max(cursor.rowcount, 0)
+        self._adjust_shadow_statistics(table, columns, removed=removed)
+        return removed
+
+    def _adjust_shadow_statistics(
+        self, table: str, columns, inserted: int = 0, removed: int = 0
+    ) -> None:
+        """Fold a write's delta into the cached statistics — no scans.
+
+        Called with the connection lock held. Cardinality stays exact;
+        per-column distinct counts are approximated (grown by the insert
+        count, clamped to the cardinality). Statistics are optimizer
+        hints, and the data epoch already drops every estimate a write
+        staled, so approximate distincts never affect answer correctness.
+        """
+        old = self._shadow.catalog.statistics(table)
+        cardinality = max(0, old.cardinality + inserted - removed)
+        stats = TableStats(cardinality=cardinality)
+        for column in columns:
+            column_stats = old.columns.get(column)
+            distinct = column_stats.distinct_values if column_stats else 0
+            distinct = min(cardinality, distinct + inserted)
+            if cardinality > 0:
+                distinct = max(1, distinct)
+            stats.columns[column] = ColumnStats(distinct_values=distinct)
+        self._shadow.catalog.set_statistics(table, stats)
 
     # ------------------------------------------------------------------
     def execute(self, sql: str) -> List[Row]:
