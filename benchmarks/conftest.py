@@ -12,15 +12,24 @@ failures appear) match the paper. Override with::
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.bench.generator import generate_abox
 from repro.bench.lubm import lubm_exists_tbox
 from repro.bench.queries import benchmark_queries, star_queries
+from repro.bench.report import EngineBenchReport
 
 SCALE_15M = os.environ.get("REPRO_BENCH_PAPER15M", "small")
 SCALE_100M = os.environ.get("REPRO_BENCH_PAPER100M", "medium")
+
+#: Where the machine-readable engine benchmark report lands (CI uploads
+#: it as an artifact). Baseline speedups only make sense at the default
+#: scales, so the baseline is ignored when scales are overridden.
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_engine.json")
+_AT_DEFAULT_SCALES = SCALE_15M == "small" and SCALE_100M == "medium"
+BASELINE_JSON = Path(__file__).parent / "baseline_engine.json"
 
 
 @pytest.fixture(scope="session")
@@ -48,3 +57,17 @@ def queries():
 @pytest.fixture(scope="session")
 def stars():
     return star_queries()
+
+
+@pytest.fixture(scope="session")
+def engine_report():
+    """Session-wide collector for the Fig 2/3 evaluation rows; writes
+    ``BENCH_engine.json`` (timings, batch counts, speedup vs the recorded
+    pre-PR baseline) at teardown."""
+    report = EngineBenchReport(
+        baseline_path=BASELINE_JSON if _AT_DEFAULT_SCALES else None
+    )
+    yield report
+    written = report.write(BENCH_JSON)
+    if written is not None:
+        print(f"\nengine benchmark report written to {written}")

@@ -148,8 +148,15 @@ def evaluation_experiment(
     variants: Sequence[Tuple[str, str, Optional[str]]] = DEFAULT_VARIANTS,
     time_budget_seconds: Optional[float] = None,
     title: str = "Evaluation time (Figure 2/3)",
+    repeat: int = 1,
 ) -> ExperimentResult:
     """Evaluate each query under each reformulation variant.
+
+    ``repeat`` > 1 evaluates each statement that many times and reports
+    the fastest run — the warm steady state (statement-cached plans,
+    populated batch caches), which is the regime a serving deployment
+    sees and the role DB2's dynamic statement cache plays in the paper's
+    own measurements. Every repetition must return the same answers.
 
     Failures (e.g. the statement-length limit on RDF-layout
     reformulations) are recorded, not raised — matching the paper's grey
@@ -170,13 +177,24 @@ def evaluation_experiment(
                 row["sql_chars"] = len(choice.sql)
                 started = time.perf_counter()
                 answers = system.execute_choice(query, choice)
-                row["eval_ms"] = round((time.perf_counter() - started) * 1000, 2)
-                row["answers"] = len(answers)
+                elapsed = time.perf_counter() - started
                 row["status"] = "ok"
-                if reference_answers is None:
-                    reference_answers = answers
-                elif answers != reference_answers:
-                    row["status"] = "WRONG ANSWERS"
+                for _ in range(max(repeat, 1) - 1):
+                    started = time.perf_counter()
+                    again = system.execute_choice(query, choice)
+                    elapsed = min(elapsed, time.perf_counter() - started)
+                    if again != answers:
+                        row["status"] = "UNSTABLE ANSWERS"
+                row["eval_ms"] = round(elapsed * 1000, 2)
+                row["answers"] = len(answers)
+                execution = getattr(system.backend, "last_execution", None)
+                if execution is not None:
+                    row["batches"] = execution.batches
+                if row["status"] == "ok":
+                    if reference_answers is None:
+                        reference_answers = answers
+                    elif answers != reference_answers:
+                        row["status"] = "WRONG ANSWERS"
             except StatementTooLongError as error:
                 row["status"] = f"too long ({error.size:,} chars)"
                 row["eval_ms"] = None

@@ -1,0 +1,101 @@
+"""Machine-readable engine benchmark reporting (``BENCH_engine.json``).
+
+The Fig 2/3 benchmark sims record their per-query evaluation rows here;
+at session teardown the report is written as JSON with per-row speedups
+against the recorded pre-PR baseline (``benchmarks/baseline_engine.json``,
+captured on the pre-vectorization engine with the same warm min-of-N
+protocol) plus per-run and overall geometric means — so the engine's
+perf trajectory is tracked across PRs and CI uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+def _geomean(values: List[float]) -> Optional[float]:
+    values = [max(v, 0.001) for v in values if v is not None]
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class EngineBenchReport:
+    """Collects evaluation rows per run and writes one JSON report."""
+
+    #: Row fields copied into the report verbatim (when present).
+    FIELDS = ("query", "variant", "sql_chars", "eval_ms", "answers", "batches", "status")
+
+    def __init__(self, baseline_path: Optional[Union[str, Path]] = None) -> None:
+        self.runs: Dict[str, List[Dict]] = {}
+        self.baseline: Dict[str, List[Dict]] = {}
+        if baseline_path is not None:
+            path = Path(baseline_path)
+            if path.exists():
+                with path.open() as handle:
+                    self.baseline = json.load(handle)
+
+    # ------------------------------------------------------------------
+    def record(self, run: str, rows: List[Dict]) -> None:
+        """Store one experiment's rows under the name *run*."""
+        self.runs[run] = [
+            {field: row.get(field) for field in self.FIELDS if field in row}
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------
+    def _baseline_eval(self, run: str, row: Dict) -> Optional[float]:
+        for base in self.baseline.get(run, ()):  # keyed (query, variant)
+            if (
+                base.get("query") == row.get("query")
+                and base.get("variant") == row.get("variant")
+                and base.get("status") == "ok"
+            ):
+                return base.get("eval_ms")
+        return None
+
+    def summary(self) -> Dict:
+        """The report body: rows with speedups, geomeans per run."""
+        report: Dict = {"runs": {}, "protocol": "eval_ms is min of warm repeats"}
+        all_speedups: List[float] = []
+        for run, rows in self.runs.items():
+            out_rows = []
+            speedups = []
+            eval_times = []
+            for row in rows:
+                entry = dict(row)
+                if row.get("status") == "ok" and row.get("eval_ms") is not None:
+                    eval_times.append(row["eval_ms"])
+                    base = self._baseline_eval(run, row)
+                    if base is not None:
+                        entry["baseline_eval_ms"] = base
+                        entry["speedup"] = round(
+                            max(base, 0.001) / max(row["eval_ms"], 0.001), 2
+                        )
+                        speedups.append(entry["speedup"])
+                out_rows.append(entry)
+            summary: Dict = {"rows": out_rows}
+            geomean_eval = _geomean(eval_times)
+            if geomean_eval is not None:
+                summary["geomean_eval_ms"] = round(geomean_eval, 3)
+            geomean_speedup = _geomean(speedups)
+            if geomean_speedup is not None:
+                summary["geomean_speedup"] = round(geomean_speedup, 2)
+                all_speedups.extend(speedups)
+            report["runs"][run] = summary
+        overall = _geomean(all_speedups)
+        if overall is not None:
+            report["geomean_speedup_vs_baseline"] = round(overall, 2)
+        return report
+
+    def write(self, path: Union[str, Path]) -> Optional[Path]:
+        """Write the report (no-op when nothing was recorded)."""
+        if not self.runs:
+            return None
+        path = Path(path)
+        with path.open("w") as handle:
+            json.dump(self.summary(), handle, indent=1)
+        return path

@@ -38,23 +38,33 @@ class TableStats:
 
 
 class Catalog:
-    """Tables by name, with on-demand statistics."""
+    """Tables by name, with on-demand statistics.
+
+    ``version`` increments whenever the schema or the statistics change;
+    the engine's statement cache keys its validity on it. (Row writes
+    that bypass the statistics APIs leave cached plans *correct* —
+    operators read live tables and indexes — merely possibly stale in
+    their cost annotations.)
+    """
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._stats: Dict[str, TableStats] = {}
+        self.version = 0
 
     def create_table(self, name: str, columns: Sequence[str]) -> Table:
         """Create a table; replaces any existing table of the same name."""
         table = Table(name, columns)
         self._tables[name.lower()] = table
         self._stats.pop(name.lower(), None)
+        self.version += 1
         return table
 
     def drop_table(self, name: str) -> None:
         """Remove a table if present."""
         self._tables.pop(name.lower(), None)
         self._stats.pop(name.lower(), None)
+        self.version += 1
 
     def table(self, name: str) -> Table:
         """Look a table up (case-insensitive)."""
@@ -69,8 +79,21 @@ class Catalog:
     def tables(self) -> Iterable[Table]:
         return self._tables.values()
 
-    def analyze(self, name: Optional[str] = None) -> None:
-        """Collect statistics for one table, or for all of them."""
+    #: Tables at most this wide get on-demand single-column indexes at
+    #: ``analyze()`` time — the T/CA/RA layout key columns (unary concept
+    #: tables and binary role tables). Wide tables (e.g. the DB2RDF DPH
+    #: table) keep only their explicitly declared indexes.
+    KEY_INDEX_MAX_COLUMNS = 2
+
+    def analyze(
+        self, name: Optional[str] = None, ensure_indexes: bool = True
+    ) -> None:
+        """Collect statistics for one table, or for all of them.
+
+        ``ensure_indexes`` also creates single-column hash indexes on the
+        key columns of narrow (predicate-layout) tables, so the planner
+        can route equality predicates and joins through them.
+        """
         targets = [self.table(name)] if name else list(self._tables.values())
         for table in targets:
             stats = TableStats(cardinality=len(table.rows))
@@ -78,6 +101,34 @@ class Catalog:
                 distinct = len({row[position] for row in table.rows})
                 stats.columns[column] = ColumnStats(distinct_values=distinct)
             self._stats[table.name.lower()] = stats
+            if ensure_indexes and len(table.columns) <= self.KEY_INDEX_MAX_COLUMNS:
+                for column in table.columns:
+                    table.create_index((column,))
+        self.version += 1
+
+    def adjust_statistics(
+        self, name: str, inserted: int = 0, removed: int = 0
+    ) -> None:
+        """Fold a write's delta into the cached statistics — no scans.
+
+        Cardinality stays exact; per-column distinct counts are
+        approximated (grown by the insert count, clamped to the
+        cardinality). Statistics are optimizer hints only, so the
+        approximation never affects answers; it removes the O(table)
+        re-analyze the write path used to pay per batch.
+        """
+        old = self.statistics(name)
+        cardinality = max(0, old.cardinality + inserted - removed)
+        stats = TableStats(cardinality=cardinality)
+        for column in self.table(name).columns:
+            column_stats = old.columns.get(column)
+            distinct = column_stats.distinct_values if column_stats else 0
+            distinct = min(cardinality, distinct + inserted)
+            if cardinality > 0:
+                distinct = max(1, distinct)
+            stats.columns[column] = ColumnStats(distinct_values=distinct)
+        self._stats[name.lower()] = stats
+        self.version += 1
 
     def statistics(self, name: str) -> TableStats:
         """Statistics for *name*, computing them lazily if missing."""
@@ -95,3 +146,4 @@ class Catalog:
         """
         self.table(name)  # validate existence
         self._stats[name.lower()] = stats
+        self.version += 1

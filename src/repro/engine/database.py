@@ -8,11 +8,12 @@ simply cannot be evaluated (§6.3).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog
 from repro.engine.errors import StatementTooLongError
-from repro.engine.executor import execute_plan
+from repro.engine.executor import ExecutionStats, execute_plan
 from repro.engine.explain import ExplainResult, explain_plan
 from repro.engine.operators import CostParameters, DEFAULT_COSTS
 from repro.engine.planner import Plan, Planner
@@ -34,10 +35,25 @@ class MiniRDBMS:
         self,
         max_statement_length: int = DB2_STATEMENT_LIMIT,
         cost_parameters: CostParameters = DEFAULT_COSTS,
+        plan_cache_size: int = 256,
     ) -> None:
         self.catalog = Catalog()
         self.max_statement_length = max_statement_length
         self.cost_parameters = cost_parameters
+        #: Counters from the most recent :meth:`execute` call.
+        self.last_execution: Optional[ExecutionStats] = None
+        # Dynamic statement cache (DB2's "package cache"): plans keyed by
+        # the exact SQL text, valid for one catalog version. EXPLAIN and
+        # execution share it, so the cost-estimation pass the GDL search
+        # makes over a statement means its later execution plans for
+        # free. Plans stay *correct* across row writes (operators read
+        # live tables); any schema or statistics change bumps the
+        # catalog version and drops the cache. Set size 0 to disable.
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
+        self._plan_cache_version = -1
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -50,9 +66,10 @@ class MiniRDBMS:
         """Drop a table if it exists."""
         self.catalog.drop_table(name)
 
-    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
-        """Bulk-insert rows into a table (duplicates ignored)."""
-        self.catalog.table(name).insert_many(rows)
+    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-insert rows into a table (duplicates ignored); returns
+        how many rows were actually added."""
+        return self.catalog.table(name).insert_many(rows)
 
     def delete_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
         """Bulk-delete rows from a table; returns the removed count."""
@@ -62,9 +79,13 @@ class MiniRDBMS:
         """Create a hash index on a table."""
         self.catalog.table(name).create_index(columns)
 
-    def analyze(self, name: Optional[str] = None) -> None:
-        """Collect optimizer statistics (like SQL ANALYZE)."""
-        self.catalog.analyze(name)
+    def analyze(
+        self, name: Optional[str] = None, ensure_indexes: bool = True
+    ) -> None:
+        """Collect optimizer statistics (like SQL ANALYZE) and, by
+        default, build single-column hash indexes on narrow tables'
+        key columns for the planner's index-aware access paths."""
+        self.catalog.analyze(name, ensure_indexes=ensure_indexes)
 
     # ------------------------------------------------------------------
     # Queries
@@ -74,14 +95,33 @@ class MiniRDBMS:
             raise StatementTooLongError(len(sql), self.max_statement_length)
 
     def plan(self, sql: str) -> Plan:
-        """Parse and plan a statement without executing it."""
+        """Parse and plan a statement (through the statement cache)."""
         self._check_length(sql)
+        if self.plan_cache_size:
+            version = self.catalog.version
+            if version != self._plan_cache_version:
+                self._plan_cache.clear()
+                self._plan_cache_version = version
+            cached = self._plan_cache.get(sql)
+            if cached is not None:
+                self._plan_cache.move_to_end(sql)
+                self.plan_cache_hits += 1
+                return cached
         statement = parse_sql(sql)
-        return Planner(self.catalog, self.cost_parameters).plan(statement)
+        plan = Planner(self.catalog, self.cost_parameters).plan(statement)
+        if self.plan_cache_size:
+            self.plan_cache_misses += 1
+            self._plan_cache[sql] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
 
     def execute(self, sql: str) -> List[Row]:
         """Run a statement and return its rows."""
-        return execute_plan(self.plan(sql))
+        stats = ExecutionStats()
+        rows = execute_plan(self.plan(sql), stats)
+        self.last_execution = stats
+        return rows
 
     def explain(self, sql: str) -> ExplainResult:
         """The planner's cost estimate for a statement (no execution)."""

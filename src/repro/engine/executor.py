@@ -1,17 +1,46 @@
-"""Plan execution: materialize CTEs in order, then pull the body."""
+"""Plan execution: materialize CTEs in order, then pull the body.
+
+The context maps each materialized CTE (user CTEs and planner-generated
+shared scans alike) to its list of **columnar batches**; the body's
+batches are flattened to row tuples only at the very end.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
+from repro.engine.operators import Batch
 from repro.engine.planner import Plan
 
 Row = Tuple
 
 
-def execute_plan(plan: Plan) -> List[Row]:
+@dataclass
+class ExecutionStats:
+    """Counters from one plan execution (benchmark telemetry)."""
+
+    batches: int = 0
+    rows: int = 0
+    materialized_ctes: int = 0
+
+
+def execute_plan(plan: Plan, stats: Optional[ExecutionStats] = None) -> List[Row]:
     """Run *plan*: CTEs are materialized once, the body streams over them."""
-    context: Dict[str, List[Row]] = {}
+    context: Dict[str, List[Batch]] = {}
     for name, materialize in plan.cte_plans:
-        context[name] = list(materialize.rows(context))
-    return list(plan.body.rows(context))
+        batches = list(materialize.batches(context))
+        context[name] = batches
+        if stats is not None:
+            stats.batches += len(batches)
+            stats.materialized_ctes += 1
+    out: List[Row] = []
+    if stats is not None:
+        for batch in plan.body.batches(context):
+            stats.batches += 1
+            out.extend(zip(*batch))
+        stats.rows = len(out)
+    else:
+        for batch in plan.body.batches(context):
+            out.extend(zip(*batch))
+    return out

@@ -17,31 +17,41 @@ from repro.engine.planner import Plan
 
 @dataclass
 class ExplainResult:
-    """Cost summary of a planned statement."""
+    """Cost summary of a planned statement.
+
+    ``nodes`` counts the physical operators in the plan (CTE sections —
+    including planner-generated shared scans — plus the body); with
+    shared-scan unions this is often far below one-pipeline-per-arm.
+    """
 
     total_cost: float
     est_rows: float
     text: str
+    nodes: int = 0
 
 
-def _render(op: Operator, depth: int, lines: List[str]) -> None:
+def _render(op: Operator, depth: int, lines: List[str]) -> int:
     indent = "  " * depth
     lines.append(
         f"{indent}{op.label()}  (rows={op.est_rows:.1f}, cost={op.cost:.1f})"
     )
+    count = 1
     for child in op.children():
-        _render(child, depth + 1, lines)
+        count += _render(child, depth + 1, lines)
+    return count
 
 
 def explain_plan(plan: Plan) -> ExplainResult:
     """Render *plan* and collect its planner estimates."""
     lines: List[str] = []
+    nodes = 0
     for name, materialize in plan.cte_plans:
-        _render(materialize, 0, lines)
-    _render(plan.body, 0, lines)
+        nodes += _render(materialize, 0, lines)
+    nodes += _render(plan.body, 0, lines)
     lines.append(f"Total estimated cost: {plan.total_cost:.1f}")
     return ExplainResult(
         total_cost=plan.total_cost,
         est_rows=plan.est_rows,
         text="\n".join(lines),
+        nodes=nodes,
     )

@@ -1,12 +1,21 @@
-"""Physical operators: pull-based iterators with planner cost annotations.
+"""Physical operators: vectorized (batch-at-a-time) with cost annotations.
+
+Operators exchange **columnar batches** — sequences of per-column value
+sequences, all of equal length (``batch_size`` rows from a scan; joins
+and filters emit whatever survives) — instead of single rows. Filters
+compute selection vectors with list comprehensions, hash joins
+build/probe whole columns at a time, and dedup zips a batch back to row
+tuples once instead of pulling rows through a generator chain. Empty
+batches are never emitted.
 
 Every operator exposes:
 
 * ``columns`` — qualified output column labels (``alias.column``);
 * ``est_rows`` / ``est_ndv`` / ``cost`` — the planner's estimates
   (cumulative cost includes the children);
-* ``rows(context)`` — the executed row iterator; ``context`` carries the
-  materialized CTE results.
+* ``batches(context)`` — the executed batch iterator; ``context`` maps a
+  materialized CTE name to its list of batches;
+* ``rows(context)`` — compatibility wrapper flattening the batches.
 
 Cost constants live in :class:`CostParameters` so backends can be
 calibrated (Section 6.1 of the paper calibrates "a few constant
@@ -16,12 +25,15 @@ coefficients" per system).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.engine.relation import Table
+from repro.engine.relation import Index, Table
 
 Row = Tuple
-Context = Dict[str, List[Row]]
+#: A columnar batch: one sequence of values per column, equal lengths.
+Batch = Sequence[Sequence]
+#: Execution context: materialized CTE name -> list of batches.
+Context = Dict[str, List[Batch]]
 
 
 @dataclass
@@ -30,15 +42,33 @@ class CostParameters:
 
     seq_scan_per_row: float = 1.0
     index_probe: float = 0.02
+    #: Per-result-row cost of an index lookup (cheaper than scan output:
+    #: matching rows come straight out of a hash bucket).
+    index_probe_per_row: float = 0.05
     hash_build_per_row: float = 1.2
     hash_probe_per_row: float = 1.0
     output_per_row: float = 0.4
     dedup_per_row: float = 1.1
     materialize_per_row: float = 0.8
     cross_join_penalty: float = 8.0
+    #: Rows per columnar batch (execution tuning, not a cost).
+    batch_size: int = 1024
 
 
 DEFAULT_COSTS = CostParameters()
+
+
+def _gather(batch: Batch, selection: List[int]) -> List[List]:
+    """Select *selection* positions out of every column of *batch*."""
+    return [[column[i] for i in selection] for column in batch]
+
+
+def _chunked(rows: List[Row], batch_size: int) -> Iterator[Batch]:
+    """Transpose a row list into columnar batches."""
+    for start in range(0, len(rows), batch_size):
+        chunk = rows[start : start + batch_size]
+        if chunk:
+            yield tuple(zip(*chunk))
 
 
 class Operator:
@@ -49,8 +79,13 @@ class Operator:
     est_ndv: Dict[str, float]
     cost: float
 
-    def rows(self, context: Context) -> Iterator[Row]:
+    def batches(self, context: Context) -> Iterator[Batch]:
         raise NotImplementedError
+
+    def rows(self, context: Context) -> Iterator[Row]:
+        """Row-at-a-time view of :meth:`batches` (compatibility)."""
+        for batch in self.batches(context):
+            yield from zip(*batch)
 
     def children(self) -> Sequence["Operator"]:
         return ()
@@ -63,8 +98,9 @@ class Operator:
 class SeqScan(Operator):
     """Full scan of a base table, with optional pushed-down equality filters.
 
-    When a single-column filter matches a hash index, execution probes the
-    index instead of scanning (the planner discounts the cost accordingly).
+    Unfiltered scans serve the table's cached columnar batches directly;
+    filtered scans select matching rows in one pass. When an applicable
+    hash index exists the planner emits :class:`IndexScan` instead.
     """
 
     def __init__(
@@ -79,6 +115,7 @@ class SeqScan(Operator):
         self.alias = alias
         self.filters = list(filters)
         self.columns = [f"{alias}.{c}" for c in table.columns]
+        self._batch_size = params.batch_size
         cardinality = float(max(stats.cardinality, 0))
         selectivity = 1.0
         for position, _value in self.filters:
@@ -91,34 +128,26 @@ class SeqScan(Operator):
             self.est_ndv[f"{alias}.{column}"] = max(
                 1.0, min(ndv, self.est_rows or 1.0)
             )
-        self._index = None
+        self.cost = params.seq_scan_per_row * cardinality
+
+    def batches(self, context: Context) -> Iterator[Batch]:
+        if not self.filters:
+            yield from self.table.column_batches(self._batch_size)
+            return
         if len(self.filters) == 1:
             position, value = self.filters[0]
-            index = table.index_on((table.columns[position],))
-            if index is not None:
-                self._index = (index, value)
-        if self._index is not None:
-            self.cost = params.index_probe + params.output_per_row * self.est_rows
+            matched = [r for r in self.table.rows if r[position] == value]
         else:
-            self.cost = params.seq_scan_per_row * cardinality
-
-    def rows(self, context: Context) -> Iterator[Row]:
-        if self._index is not None:
-            index, value = self._index
-            yield from index.lookup((value,))
-            return
-        for row in self.table.rows:
-            ok = True
-            for position, value in self.filters:
-                if row[position] != value:
-                    ok = False
-                    break
-            if ok:
-                yield row
+            filters = self.filters
+            matched = [
+                r
+                for r in self.table.rows
+                if all(r[p] == v for p, v in filters)
+            ]
+        yield from _chunked(matched, self._batch_size)
 
     def label(self) -> str:
-        access = "IndexProbe" if self._index is not None else "SeqScan"
-        rendered = f"{access} {self.table.name} AS {self.alias}"
+        rendered = f"SeqScan {self.table.name} AS {self.alias}"
         if self.filters:
             conds = ", ".join(
                 f"{self.table.columns[p]}={v!r}" for p, v in self.filters
@@ -127,8 +156,70 @@ class SeqScan(Operator):
         return rendered
 
 
+class IndexScan(Operator):
+    """Equality lookup through a table's hash index.
+
+    ``key_filters`` (one per index column, in index order) are answered
+    by the bucket probe; ``residual`` equality filters — pushed-down
+    predicates on non-index columns — are applied to the bucket rows.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        index: Index,
+        key_filters: Sequence[Tuple[int, object]],
+        residual: Sequence[Tuple[int, object]],
+        stats,
+        params: CostParameters,
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.key_filters = list(key_filters)
+        self.residual = list(residual)
+        self.columns = [f"{alias}.{c}" for c in table.columns]
+        self._batch_size = params.batch_size
+        self._key = tuple(value for _position, value in self.key_filters)
+        cardinality = float(max(stats.cardinality, 0))
+        selectivity = 1.0
+        for position, _value in self.key_filters + self.residual:
+            column = table.columns[position]
+            selectivity /= max(1.0, float(stats.distinct(column)))
+        self.est_rows = max(cardinality * selectivity, 0.0)
+        self.est_ndv = {}
+        for column in table.columns:
+            ndv = float(stats.distinct(column))
+            self.est_ndv[f"{alias}.{column}"] = max(
+                1.0, min(ndv, self.est_rows or 1.0)
+            )
+        self.cost = params.index_probe + params.index_probe_per_row * self.est_rows
+
+    def batches(self, context: Context) -> Iterator[Batch]:
+        matched = self.index.lookup(self._key)
+        if self.residual:
+            residual = self.residual
+            matched = [
+                r for r in matched if all(r[p] == v for p, v in residual)
+            ]
+        yield from _chunked(matched, self._batch_size)
+
+    def label(self) -> str:
+        conds = ", ".join(
+            f"{self.table.columns[p]}={v!r}"
+            for p, v in self.key_filters + self.residual
+        )
+        return f"IndexScan {self.table.name} AS {self.alias} [{conds}]"
+
+
 class CTEScan(Operator):
-    """Scan of a materialized WITH-subquery."""
+    """Scan of a materialized WITH-subquery (or a planner-shared scan).
+
+    An unfiltered CTEScan re-serves the materialized batches as-is, so
+    every UNION arm behind a shared scan reads the same columnar data
+    with zero per-arm transpose or copy work.
+    """
 
     def __init__(
         self,
@@ -155,15 +246,25 @@ class CTEScan(Operator):
             self.est_ndv[out_label] = max(1.0, min(ndv, self.est_rows or 1.0))
         self.cost = params.seq_scan_per_row * max(cte_root.est_rows, 0.0)
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        for row in context[self.name]:
-            ok = True
-            for position, value in self.filters:
-                if row[position] != value:
-                    ok = False
-                    break
-            if ok:
-                yield row
+    def batches(self, context: Context) -> Iterator[Batch]:
+        stored = context[self.name]
+        if not self.filters:
+            yield from stored
+            return
+        filters = self.filters
+        for batch in stored:
+            position, value = filters[0]
+            column = batch[position]
+            selection = [i for i, v in enumerate(column) if v == value]
+            for position, value in filters[1:]:
+                column = batch[position]
+                selection = [i for i in selection if column[i] == value]
+            if not selection:
+                continue
+            if len(selection) == len(batch[0]):
+                yield batch
+            else:
+                yield _gather(batch, selection)
 
     def label(self) -> str:
         return f"CTEScan {self.name} AS {self.alias}"
@@ -193,18 +294,39 @@ class Filter(Operator):
         }
         self.cost = child.cost
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        for row in self.child.rows(context):
-            ok = True
-            for left, right, op in self.pairs:
-                if op == "=" and row[left] != row[right]:
-                    ok = False
-                    break
-                if op == "<>" and row[left] == row[right]:
-                    ok = False
-                    break
-            if ok:
-                yield row
+    def batches(self, context: Context) -> Iterator[Batch]:
+        pairs = self.pairs
+        for batch in self.child.batches(context):
+            left, right, op = pairs[0]
+            left_col, right_col = batch[left], batch[right]
+            if op == "=":
+                selection = [
+                    i
+                    for i, (a, b) in enumerate(zip(left_col, right_col))
+                    if a == b
+                ]
+            else:
+                selection = [
+                    i
+                    for i, (a, b) in enumerate(zip(left_col, right_col))
+                    if a != b
+                ]
+            for left, right, op in pairs[1:]:
+                left_col, right_col = batch[left], batch[right]
+                if op == "=":
+                    selection = [
+                        i for i in selection if left_col[i] == right_col[i]
+                    ]
+                else:
+                    selection = [
+                        i for i in selection if left_col[i] != right_col[i]
+                    ]
+            if not selection:
+                continue
+            if len(selection) == len(batch[0]):
+                yield batch
+            else:
+                yield _gather(batch, selection)
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
@@ -241,16 +363,27 @@ class ConstFilter(Operator):
         }
         self.cost = child.cost
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        for row in self.child.rows(context):
-            ok = True
-            for position, value, op in self.tests:
-                matches = row[position] == value
-                if (op == "=" and not matches) or (op == "<>" and matches):
-                    ok = False
-                    break
-            if ok:
-                yield row
+    def batches(self, context: Context) -> Iterator[Batch]:
+        tests = self.tests
+        for batch in self.child.batches(context):
+            position, value, op = tests[0]
+            column = batch[position]
+            if op == "=":
+                selection = [i for i, v in enumerate(column) if v == value]
+            else:
+                selection = [i for i, v in enumerate(column) if v != value]
+            for position, value, op in tests[1:]:
+                column = batch[position]
+                if op == "=":
+                    selection = [i for i in selection if column[i] == value]
+                else:
+                    selection = [i for i in selection if column[i] != value]
+            if not selection:
+                continue
+            if len(selection) == len(batch[0]):
+                yield batch
+            else:
+                yield _gather(batch, selection)
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
@@ -262,8 +395,35 @@ class ConstFilter(Operator):
         return f"ConstFilter [{conds}]"
 
 
+def _index_join_side(
+    operator: Operator, key_positions: Sequence[int]
+) -> Optional[Index]:
+    """An index answering a join against *operator*, if one applies.
+
+    The side must be a bare full-table scan (no pushed filters — the
+    index holds *all* the table's rows) with a hash index exactly
+    matching the join key columns (single column, or either order for
+    two-column keys).
+    """
+    if not isinstance(operator, SeqScan) or operator.filters:
+        return None
+    table = operator.table
+    names = tuple(table.columns[p] for p in key_positions)
+    index = table.index_on(names)
+    if index is None and len(names) == 2:
+        index = table.index_on((names[1], names[0]))
+    return index
+
+
 class HashJoin(Operator):
-    """Equi-join; builds a hash table on the (estimated) smaller input."""
+    """Equi-join, batch-at-a-time.
+
+    Generic path: build a hash table from the (estimated) smaller input,
+    stream the other side's batches through it. Index path: when one
+    input is a bare table scan whose join key matches an existing hash
+    index, the index *is* the build side — the table is never scanned
+    and no per-query hash table is built (an index nested-loop join).
+    """
 
     def __init__(
         self,
@@ -287,42 +447,166 @@ class HashJoin(Operator):
         self.est_ndv = {}
         for label, ndv in list(left.est_ndv.items()) + list(right.est_ndv.items()):
             self.est_ndv[label] = max(1.0, min(ndv, self.est_rows or 1.0))
+        self._index_side, self._index = self._pick_index_side(
+            left, right, self.key_pairs
+        )
+        self.cost = self.estimate_cost(
+            left, right, self.est_rows, self._index_side, params
+        )
+
+    @staticmethod
+    def _pick_index_side(
+        left: Operator, right: Operator, key_pairs: Sequence[Tuple[int, int]]
+    ) -> Tuple[Optional[str], Optional[Index]]:
+        """Which input (if any) can be replaced by an index probe.
+
+        When both qualify, index the larger side: the smaller side
+        streams as the probe and the big table is never materialized.
+        """
+        left_index = _index_join_side(left, [l for l, _ in key_pairs])
+        right_index = _index_join_side(right, [r for _, r in key_pairs])
+        if left_index is not None and right_index is not None:
+            if left.est_rows >= right.est_rows:
+                right_index = None
+            else:
+                left_index = None
+        if left_index is not None:
+            return "left", left_index
+        if right_index is not None:
+            return "right", right_index
+        return None, None
+
+    @staticmethod
+    def estimate_cost(
+        left: Operator,
+        right: Operator,
+        est_rows: float,
+        index_side: Optional[str],
+        params: CostParameters,
+    ) -> float:
+        """Cumulative cost of joining *left* and *right*.
+
+        With an index side ("left"/"right"), the indexed table is
+        neither scanned nor hashed: pay only the probe side plus
+        per-probe index lookups.
+        """
+        if index_side is not None:
+            probe = right if index_side == "left" else left
+            return (
+                probe.cost
+                + params.hash_probe_per_row * probe.est_rows
+                + params.output_per_row * est_rows
+            )
         build_rows = min(left.est_rows, right.est_rows)
         probe_rows = max(left.est_rows, right.est_rows)
-        self.cost = (
+        return (
             left.cost
             + right.cost
             + params.hash_build_per_row * build_rows
             + params.hash_probe_per_row * probe_rows
-            + params.output_per_row * self.est_rows
+            + params.output_per_row * est_rows
         )
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        left_rows = list(self.left.rows(context))
-        right_rows = list(self.right.rows(context))
-        left_width = len(self.left.columns)
-        # Build on the smaller actual side.
-        if len(left_rows) <= len(right_rows):
-            build_rows, probe_rows, build_is_left = left_rows, right_rows, True
+    def batches(self, context: Context) -> Iterator[Batch]:
+        if self._index is not None:
+            yield from self._index_batches(context)
+            return
+        # Build on the side the planner estimates smaller; the other
+        # side streams batch-at-a-time through the hash table.
+        build_is_left = self.left.est_rows <= self.right.est_rows
+        build_op = self.left if build_is_left else self.right
+        probe_op = self.right if build_is_left else self.left
+        if build_is_left:
+            build_positions = [l for l, _ in self.key_pairs]
+            probe_positions = [r for _, r in self.key_pairs]
         else:
-            build_rows, probe_rows, build_is_left = right_rows, left_rows, False
-        buckets: Dict[Tuple, List[Row]] = {}
-        for row in build_rows:
-            if build_is_left:
-                key = tuple(row[l] for l, _ in self.key_pairs)
+            build_positions = [r for _, r in self.key_pairs]
+            probe_positions = [l for l, _ in self.key_pairs]
+        buckets: Dict[object, List[Row]] = {}
+        single = len(build_positions) == 1
+        if single:
+            position = build_positions[0]
+            for batch in build_op.batches(context):
+                for row in zip(*batch):
+                    buckets.setdefault(row[position], []).append(row)
+        else:
+            for batch in build_op.batches(context):
+                for row in zip(*batch):
+                    key = tuple(row[p] for p in build_positions)
+                    buckets.setdefault(key, []).append(row)
+        if not buckets:
+            return
+        yield from self._probe(
+            context, probe_op, probe_positions, buckets.get, not build_is_left
+        )
+
+    def _index_batches(self, context: Context) -> Iterator[Batch]:
+        build_is_left = self._index_side == "left"
+        probe_op = self.right if build_is_left else self.left
+        if build_is_left:
+            probe_positions = [r for _, r in self.key_pairs]
+        else:
+            probe_positions = [l for l, _ in self.key_pairs]
+        index = self._index
+        index_positions = (
+            [l for l, _ in self.key_pairs]
+            if build_is_left
+            else [r for _, r in self.key_pairs]
+        )
+        build_op = self.left if build_is_left else self.right
+        # Bucket keys follow the index's column order, which may be the
+        # reverse of the join key order for two-column indexes.
+        column_order = tuple(
+            build_op.columns[p].split(".", 1)[1] for p in index_positions
+        )
+        if not index.single and column_order != index.columns:
+            ordering = [column_order.index(c) for c in index.columns]
+            probe_positions = [probe_positions[i] for i in ordering]
+        # Single-column indexes bucket by bare value, so the probe is a
+        # plain dict get either way.
+        yield from self._probe(
+            context,
+            probe_op,
+            probe_positions,
+            index.buckets.get,
+            not build_is_left,
+        )
+
+    def _probe(
+        self,
+        context: Context,
+        probe_op: Operator,
+        probe_positions: List[int],
+        lookup,
+        probe_is_left: bool,
+    ) -> Iterator[Batch]:
+        """Stream probe batches through *lookup*, emitting joined batches."""
+        single = len(probe_positions) == 1
+        for batch in probe_op.batches(context):
+            matched_rows: List[Row] = []
+            selection: List[int] = []
+            if single:
+                column = batch[probe_positions[0]]
+                for i, value in enumerate(column):
+                    bucket = lookup(value)
+                    if bucket:
+                        matched_rows.extend(bucket)
+                        selection.extend([i] * len(bucket))
             else:
-                key = tuple(row[r] for _, r in self.key_pairs)
-            buckets.setdefault(key, []).append(row)
-        for row in probe_rows:
-            if build_is_left:
-                key = tuple(row[r] for _, r in self.key_pairs)
+                key_columns = [batch[p] for p in probe_positions]
+                for i, key in enumerate(zip(*key_columns)):
+                    bucket = lookup(key)
+                    if bucket:
+                        matched_rows.extend(bucket)
+                        selection.extend([i] * len(bucket))
+            if not matched_rows:
+                continue
+            matched_cols = list(zip(*matched_rows))
+            probe_cols = _gather(batch, selection)
+            if probe_is_left:
+                yield probe_cols + matched_cols
             else:
-                key = tuple(row[l] for l, _ in self.key_pairs)
-            for match in buckets.get(key, ()):  # type: ignore[arg-type]
-                if build_is_left:
-                    yield match + row
-                else:
-                    yield row + match
+                yield matched_cols + probe_cols
 
     def children(self) -> Sequence[Operator]:
         return (self.left, self.right)
@@ -332,7 +616,11 @@ class HashJoin(Operator):
             f"{self.left.columns[l]} = {self.right.columns[r]}"
             for l, r in self.key_pairs
         )
-        return f"HashJoin [{conds}]"
+        rendered = f"HashJoin [{conds}]"
+        if self._index is not None:
+            side = self.left if self._index_side == "left" else self.right
+            rendered += f" (index probe into {side.table.name})"  # type: ignore[union-attr]
+        return rendered
 
 
 class CrossJoin(Operator):
@@ -354,18 +642,36 @@ class CrossJoin(Operator):
             + params.cross_join_penalty * self.est_rows
         )
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        right_rows = list(self.right.rows(context))
-        for left_row in self.left.rows(context):
-            for right_row in right_rows:
-                yield left_row + right_row
+    def batches(self, context: Context) -> Iterator[Batch]:
+        right_batches = list(self.right.batches(context))
+        if not right_batches:
+            return
+        width = len(self.right.columns)
+        right_cols: List[List] = [[] for _ in range(width)]
+        for batch in right_batches:
+            for position in range(width):
+                right_cols[position].extend(batch[position])
+        count = len(right_cols[0])
+        for batch in self.left.batches(context):
+            left_out = [
+                [value for value in column for _ in range(count)]
+                for column in batch
+            ]
+            size = len(batch[0])
+            right_out = [column * size for column in right_cols]
+            yield left_out + right_out
 
     def children(self) -> Sequence[Operator]:
         return (self.left, self.right)
 
 
 class Project(Operator):
-    """Projection onto expressions (column positions or literal values)."""
+    """Projection onto expressions (column positions or literal values).
+
+    Vectorized projection is column bookkeeping: existing columns are
+    re-referenced (no copy), literal columns are materialized once per
+    batch.
+    """
 
     def __init__(
         self,
@@ -388,18 +694,40 @@ class Project(Operator):
                 )
         self.cost = child.cost + params.output_per_row * child.est_rows
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        for row in self.child.rows(context):
-            yield tuple(
-                row[position] if position is not None else value
-                for position, value, _label in self.items
-            )
+    def batches(self, context: Context) -> Iterator[Batch]:
+        items = self.items
+        for batch in self.child.batches(context):
+            size = len(batch[0])
+            yield [
+                batch[position] if position is not None else [value] * size
+                for position, value, _label in items
+            ]
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
 
     def label(self) -> str:
         return f"Project [{', '.join(self.columns)}]"
+
+
+def _dedup_batches(
+    source: Iterator[Batch], seen: set
+) -> Iterator[Batch]:
+    """Drop rows already in *seen* (mutated), batch-at-a-time."""
+    for batch in source:
+        fresh: List[Row] = []
+        append = fresh.append
+        add = seen.add
+        for row in zip(*batch):
+            if row not in seen:
+                add(row)
+                append(row)
+        if not fresh:
+            continue
+        if len(fresh) == len(batch[0]):
+            yield batch
+        else:
+            yield tuple(zip(*fresh))
 
 
 class Distinct(Operator):
@@ -415,19 +743,20 @@ class Distinct(Operator):
         self.est_ndv = dict(child.est_ndv)
         self.cost = child.cost + params.dedup_per_row * child.est_rows
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        seen = set()
-        for row in self.child.rows(context):
-            if row not in seen:
-                seen.add(row)
-                yield row
+    def batches(self, context: Context) -> Iterator[Batch]:
+        yield from _dedup_batches(self.child.batches(context), set())
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
 
 
 class Union(Operator):
-    """UNION (deduplicating) or UNION ALL of equal-arity children."""
+    """UNION (deduplicating) or UNION ALL of equal-arity children.
+
+    Deduplication shares one seen-set across all arms, so duplicate
+    answers produced by overlapping UCQ disjuncts are dropped the first
+    time a batch crosses the operator.
+    """
 
     def __init__(
         self, inputs: Sequence[Operator], all_rows: bool, params: CostParameters
@@ -447,17 +776,14 @@ class Union(Operator):
         if not all_rows:
             self.cost += params.dedup_per_row * self.est_rows
 
-    def rows(self, context: Context) -> Iterator[Row]:
+    def batches(self, context: Context) -> Iterator[Batch]:
         if self.all_rows:
             for op in self.inputs:
-                yield from op.rows(context)
+                yield from op.batches(context)
             return
-        seen = set()
+        seen: set = set()
         for op in self.inputs:
-            for row in op.rows(context):
-                if row not in seen:
-                    seen.add(row)
-                    yield row
+            yield from _dedup_batches(op.batches(context), seen)
 
     def children(self) -> Sequence[Operator]:
         return tuple(self.inputs)
@@ -467,21 +793,34 @@ class Union(Operator):
 
 
 class Materialize(Operator):
-    """Materialization of a CTE result (the WITH evaluation strategy)."""
+    """Materialization of a CTE result (the WITH evaluation strategy).
 
-    def __init__(self, name: str, child: Operator, params: CostParameters) -> None:
+    ``shared`` marks planner-introduced shared scans: identical
+    scan+filter subtrees detected across UNION arms, evaluated once.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        child: Operator,
+        params: CostParameters,
+        shared: bool = False,
+    ) -> None:
         self.name = name
         self.child = child
+        self.shared = shared
         self.columns = list(child.columns)
         self.est_rows = child.est_rows
         self.est_ndv = dict(child.est_ndv)
         self.cost = child.cost + params.materialize_per_row * child.est_rows
 
-    def rows(self, context: Context) -> Iterator[Row]:
-        return self.child.rows(context)
+    def batches(self, context: Context) -> Iterator[Batch]:
+        return self.child.batches(context)
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
 
     def label(self) -> str:
+        if self.shared:
+            return f"Materialize {self.name} (shared scan)"
         return f"Materialize {self.name}"

@@ -3,17 +3,27 @@
 Planning one SELECT block proceeds as in a textbook System-R-lite:
 
 1. resolve FROM sources (base tables, CTEs, derived subqueries) and push
-   column-to-constant predicates down to scans;
+   column-to-constant predicates down to scans — equality predicates are
+   routed through a matching hash index (:class:`IndexScan`) when the
+   table has one;
 2. classify remaining predicates into join edges (columns from two
    different sources) and residual filters;
 3. order joins greedily: start from the source with the smallest estimated
    cardinality, repeatedly join the source whose hash join yields the
-   smallest estimated result (cartesian products are a last resort);
+   smallest estimated cost (cartesian products are a last resort) —
+   candidate costs are computed arithmetically, without constructing
+   throwaway operators;
 4. apply residual filters as soon as both sides are available, then
    project, then deduplicate for SELECT DISTINCT.
 
-UNION plans each branch independently; WITH plans and registers CTEs in
-order so later CTEs and the body can scan them.
+UNION plans detect **shared scans** first: identical base-table
+scan+filter subtrees (and identical derived subqueries) appearing in two
+or more arms are planned once, materialized behind a planner-generated
+CTE (``_shared_N``), and every arm reads the materialized batches
+through a :class:`CTEScan` — exactly the shape PerfectRef reformulations
+produce, where the same atom tables recur across dozens of UCQ arms.
+WITH plans and registers CTEs in order so later CTEs and the body can
+scan them.
 """
 
 from __future__ import annotations
@@ -21,8 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.engine.catalog import Catalog, TableStats
-from repro.engine.errors import PlanningError, UnknownColumnError, UnknownTableError
+from repro.engine.catalog import Catalog
+from repro.engine.errors import PlanningError, UnknownColumnError
 from repro.engine.operators import (
     ConstFilter,
     CostParameters,
@@ -32,27 +42,32 @@ from repro.engine.operators import (
     Distinct,
     Filter,
     HashJoin,
+    IndexScan,
     Materialize,
     Operator,
     Project,
     SeqScan,
     Union,
+    _index_join_side,
 )
+from repro.engine.relation import Table
 from repro.engine.sqlparser import (
     ColumnRef,
-    Condition,
     Literal,
     SelectCore,
     SelectUnion,
     Statement,
-    SubquerySource,
     TableSource,
 )
 
 
 @dataclass
 class Plan:
-    """A fully planned statement."""
+    """A fully planned statement.
+
+    ``cte_plans`` holds the user's CTEs *and* planner-generated shared
+    scans, in materialization (dependency) order.
+    """
 
     cte_plans: List[Tuple[str, Materialize]] = field(default_factory=list)
     body: Operator = None  # type: ignore[assignment]
@@ -77,6 +92,33 @@ class _CTEInfo:
     out_columns: List[str]
 
 
+@dataclass
+class _SharedScan:
+    """A planner-generated shared scan usable by several UNION arms."""
+
+    name: str
+    materialize: Materialize
+    out_columns: List[str]
+
+
+class _PlanState:
+    """Per-``plan()`` mutable state: the plan under construction and the
+    namespace for generated shared-scan CTEs."""
+
+    def __init__(self, plan: Plan, reserved: Set[str]) -> None:
+        self.plan = plan
+        self.reserved = reserved
+        self.counter = 0
+
+    def next_shared_name(self) -> str:
+        while True:
+            name = f"_shared_{self.counter}"
+            self.counter += 1
+            if name not in self.reserved:
+                self.reserved.add(name)
+                return name
+
+
 class Planner:
     """Plans parsed statements against a catalog."""
 
@@ -91,20 +133,38 @@ class Planner:
         """Plan a full statement (CTEs in declaration order, then body)."""
         ctes: Dict[str, _CTEInfo] = {}
         plan = Plan()
+        state = _PlanState(
+            plan, {name.lower() for name, _ in statement.ctes}
+        )
         for name, union in statement.ctes:
-            root = self._plan_union(union, ctes)
+            root = self._plan_union(union, ctes, state)
             materialized = Materialize(name, root, self.params)
             out_columns = [label.split(".")[-1] for label in root.columns]
             ctes[name.lower()] = _CTEInfo(materialized, out_columns)
             plan.cte_plans.append((name, materialized))
-        plan.body = self._plan_union(statement.body, ctes)
+        plan.body = self._plan_union(statement.body, ctes, state)
         return plan
 
     # ------------------------------------------------------------------
     def _plan_union(
-        self, union: SelectUnion, ctes: Dict[str, _CTEInfo]
+        self,
+        union: SelectUnion,
+        ctes: Dict[str, _CTEInfo],
+        state: _PlanState,
     ) -> Operator:
-        branches = [self._plan_select(core, ctes) for core in union.selects]
+        if len(union.selects) > 1:
+            shared_by_core = self._detect_shared_scans(union, ctes, state)
+        else:
+            shared_by_core = [{}]
+        # A deduplicating UNION makes every arm set-semantic: the planner
+        # may insert early duplicate elimination anywhere below it.
+        union_dedups = len(union.selects) > 1 and not union.all
+        branches = [
+            self._plan_select(
+                core, ctes, state, shared_by_core[i], union_dedups
+            )
+            for i, core in enumerate(union.selects)
+        ]
         arities = {len(b.columns) for b in branches}
         if len(arities) != 1:
             raise PlanningError(f"UNION branches disagree on arity: {arities}")
@@ -113,8 +173,217 @@ class Planner:
         return Union(branches, union.all, self.params)
 
     # ------------------------------------------------------------------
-    def _plan_select(
+    # Shared-scan detection
+    # ------------------------------------------------------------------
+    def _detect_shared_scans(
+        self,
+        union: SelectUnion,
+        ctes: Dict[str, _CTEInfo],
+        state: _PlanState,
+    ) -> List[Dict[str, _SharedScan]]:
+        """Fingerprint every arm's FROM sources; materialize repeats once.
+
+        Returns one ``alias -> shared scan`` mapping per UNION arm. A
+        source's fingerprint is its base (table name, or the derived
+        subquery's AST) plus every constant filter and same-source
+        column equality attributed to it — i.e. exactly the leaf subtree
+        ``_plan_select`` would build. Arms whose conditions cannot be
+        attributed statically (unqualified column references) opt out.
+        """
+        per_core = [
+            self._fingerprint_core(core, ctes) for core in union.selects
+        ]
+        counts: Dict[Tuple, int] = {}
+        for entry in per_core:
+            if entry:
+                for _alias, key in entry:
+                    counts[key] = counts.get(key, 0) + 1
+        shared: Dict[Tuple, _SharedScan] = {}
+        for key, count in counts.items():
+            if count < 2:
+                continue
+            is_table = key[0] == "t"
+            has_filters = bool(key[2] or key[3] or key[4])
+            # Sharing an unfiltered base scan saves nothing (the table's
+            # columnar batches are already cached) and would hide the
+            # scan's hash indexes from the join planner.
+            if is_table and not has_filters:
+                continue
+            shared[key] = self._build_shared_scan(key, ctes, state)
+        result: List[Dict[str, _SharedScan]] = []
+        for entry in per_core:
+            if not entry:
+                result.append({})
+                continue
+            result.append(
+                {alias: shared[key] for alias, key in entry if key in shared}
+            )
+        return result
+
+    def _fingerprint_core(
         self, core: SelectCore, ctes: Dict[str, _CTEInfo]
+    ) -> Optional[List[Tuple[str, Tuple]]]:
+        """(alias, fingerprint) pairs for one arm; None when ineligible."""
+        bases: Dict[str, Optional[Tuple]] = {}
+        order: List[str] = []
+        for source in core.sources:
+            alias = source.alias
+            if alias in bases:
+                return None  # duplicate alias: the planner will raise
+            if isinstance(source, TableSource):
+                if source.name.lower() in ctes:
+                    base = None  # CTE reference: materialized already
+                else:
+                    base = ("t", source.name.lower())
+            else:
+                base = ("q", source.statement)
+            bases[alias] = base
+            order.append(alias)
+        eq: Dict[str, List[Tuple]] = {a: [] for a in order}
+        neq: Dict[str, List[Tuple]] = {a: [] for a in order}
+        pairs: Dict[str, List[Tuple]] = {a: [] for a in order}
+        for condition in core.conditions:
+            left, right, op = condition.left, condition.right, condition.op
+            left_is_col = isinstance(left, ColumnRef)
+            right_is_col = isinstance(right, ColumnRef)
+            if (left_is_col and left.table is None) or (
+                right_is_col and right.table is None
+            ):
+                return None  # bare column: attribution needs resolution
+            if left_is_col and right_is_col:
+                if left.table not in bases or right.table not in bases:
+                    return None
+                if left.table == right.table:
+                    pairs[left.table].append(
+                        (op,) + tuple(sorted((left.column, right.column)))
+                    )
+                # else: a join edge, applied above the leaves
+            elif left_is_col or right_is_col:
+                ref = left if left_is_col else right
+                literal = right if left_is_col else left
+                if ref.table not in bases:
+                    return None
+                bucket = eq if op == "=" else neq
+                bucket[ref.table].append((ref.column, literal.value))
+            # constant-constant conditions are validated by _plan_select
+        result = []
+        for alias in order:
+            base = bases[alias]
+            if base is None:
+                continue
+            result.append(
+                (
+                    alias,
+                    (
+                        base[0],
+                        base[1],
+                        frozenset(eq[alias]),
+                        frozenset(neq[alias]),
+                        frozenset(pairs[alias]),
+                    ),
+                )
+            )
+        return result
+
+    #: Deterministic order for (column, literal) filter sets; literals
+    #: may mix types (ints and strings), so sort on their repr.
+    @staticmethod
+    def _filter_order(item: Tuple) -> Tuple[str, str]:
+        return (item[0], repr(item[1]))
+
+    def _build_shared_scan(
+        self, key: Tuple, ctes: Dict[str, _CTEInfo], state: _PlanState
+    ) -> _SharedScan:
+        """Plan one shared subtree and register its materialization."""
+        kind, base, eq, neq, pair_set = key
+        if kind == "t":
+            table = self.catalog.table(base)
+            stats = self.catalog.statistics(base)
+            positions = [
+                (table.column_position(c), v)
+                for c, v in sorted(eq, key=self._filter_order)
+            ]
+            leaf: Operator = self._table_leaf(table, base, positions, stats)
+            local: Sequence[str] = table.columns
+        else:
+            leaf = self._plan_union(base, ctes, state)
+            local = [label.split(".")[-1] for label in leaf.columns]
+            if eq:
+                tests = [
+                    (local.index(c), v, "=")
+                    for c, v in sorted(eq, key=self._filter_order)
+                ]
+                leaf = ConstFilter(leaf, tests)
+        if neq:
+            tests = [
+                (local.index(c), v, "<>")
+                for c, v in sorted(neq, key=self._filter_order)
+            ]
+            leaf = ConstFilter(leaf, tests)
+        if pair_set:
+            pair_list = [
+                (local.index(a), local.index(b), op)
+                for op, a, b in sorted(pair_set)
+            ]
+            leaf = Filter(leaf, pair_list)
+        name = state.next_shared_name()
+        materialize = Materialize(name, leaf, self.params, shared=True)
+        state.plan.cte_plans.append((name, materialize))
+        return _SharedScan(name, materialize, list(local))
+
+    # ------------------------------------------------------------------
+    # Access-path selection
+    # ------------------------------------------------------------------
+    def _table_leaf(
+        self,
+        table: Table,
+        alias: str,
+        equality: List[Tuple[int, object]],
+        stats,
+    ) -> Operator:
+        """Scan *table*, routing equality filters through a hash index.
+
+        Preference order: an index exactly covering all equality columns;
+        else a single-column index on the most selective filtered column
+        (remaining filters become residuals); else a filtered SeqScan.
+        """
+        if not equality:
+            return SeqScan(table, alias, [], stats, self.params)
+        names = tuple(table.columns[p] for p, _ in equality)
+        if len(names) > 1:
+            index = table.index_on(names)
+            ordered = equality
+            if index is None:
+                order = sorted(range(len(names)), key=lambda i: names[i])
+                index = table.index_on(tuple(names[i] for i in order))
+                ordered = [equality[i] for i in order]
+            if index is not None:
+                return IndexScan(
+                    table, alias, index, ordered, [], stats, self.params
+                )
+        best: Optional[Tuple[float, int]] = None
+        for i, (position, _value) in enumerate(equality):
+            if table.index_on((table.columns[position],)) is not None:
+                ndv = float(stats.distinct(table.columns[position]))
+                if best is None or ndv > best[0]:
+                    best = (ndv, i)
+        if best is not None:
+            i = best[1]
+            index = table.index_on((table.columns[equality[i][0]],))
+            residual = equality[:i] + equality[i + 1 :]
+            return IndexScan(
+                table, alias, index, [equality[i]], residual, stats, self.params
+            )
+        return SeqScan(table, alias, equality, stats, self.params)
+
+    # ------------------------------------------------------------------
+    def _plan_select(
+        self,
+        core: SelectCore,
+        ctes: Dict[str, _CTEInfo],
+        state: _PlanState,
+        shared_scans: Dict[str, _SharedScan],
+        union_dedups: bool = False,
     ) -> Operator:
         # ---- classify conditions by source -------------------------------
         alias_order: List[str] = []
@@ -133,14 +402,18 @@ class Planner:
 
         # Pre-plan subqueries so their output columns are known. This must
         # be a local mapping: planning a subquery recurses into this method.
+        # Shared subqueries were already planned once by the union.
         subquery_ops: Dict[str, Operator] = {}
         for alias, (kind, source) in source_specs.items():
-            if kind == "subquery":
+            if kind == "subquery" and alias not in shared_scans:
                 subquery_ops[alias] = self._plan_union(
-                    source.statement, ctes  # type: ignore[union-attr]
+                    source.statement, ctes, state  # type: ignore[union-attr]
                 )
 
         def columns_of(alias: str) -> List[str]:
+            shared = shared_scans.get(alias)
+            if shared is not None:
+                return list(shared.out_columns)
             kind, source = source_specs[alias]
             if kind == "table":
                 name = source.name  # type: ignore[union-attr]
@@ -205,6 +478,19 @@ class Planner:
         # ---- build leaf operators with pushed-down filters ----------------
         leaves: Dict[str, Operator] = {}
         for alias in alias_order:
+            shared = shared_scans.get(alias)
+            if shared is not None:
+                # All of this alias's filters are baked into the shared
+                # subtree (they are part of its fingerprint).
+                leaves[alias] = CTEScan(
+                    shared.name,
+                    alias,
+                    shared.out_columns,
+                    shared.materialize,
+                    [],
+                    self.params,
+                )
+                continue
             kind, source = source_specs[alias]
             filters = const_filters[alias]
             equality = [(n, v) for n, v, op in filters if op == "="]
@@ -230,7 +516,7 @@ class Planner:
                     positions = [
                         (table.column_position(n), v) for n, v in equality
                     ]
-                    op_leaf = SeqScan(table, alias, positions, stats, self.params)
+                    op_leaf = self._table_leaf(table, alias, positions, stats)
             else:
                 inner = subquery_ops[alias]
                 local = [label.split(".")[-1] for label in inner.columns]
@@ -262,19 +548,36 @@ class Planner:
                 op_leaf = Filter(op_leaf, pairs)
             leaves[alias] = op_leaf
 
+        # ---- projection resolution (needed for join-time pruning) ---------
+        projection_locs: List[Tuple[Optional[Tuple[str, str]], object, Optional[str]]] = []
+        needed_labels: Set[str] = set()
+        for expr, out_alias in core.projections:
+            if isinstance(expr, Literal):
+                projection_locs.append((None, expr.value, out_alias))
+            else:
+                alias, name = resolve(expr)
+                projection_locs.append(((alias, name), None, out_alias))
+                needed_labels.add(f"{alias}.{name}")
+
         # ---- greedy join ordering ----------------------------------------
-        composite = self._order_joins(leaves, alias_order, join_edges)
+        # Under set semantics (SELECT DISTINCT, or an arm of a
+        # deduplicating UNION) intermediate results may be deduplicated
+        # as soon as columns are pruned away — base relations are sets,
+        # so only column dropping can introduce duplicates, and early
+        # dedup keeps skew-driven join blowups from cascading.
+        set_semantics = core.distinct or union_dedups
+        composite = self._order_joins(
+            leaves, alias_order, join_edges, needed_labels, set_semantics
+        )
 
         # ---- projection + distinct ----------------------------------------
         items: List[Tuple[Optional[int], object, str]] = []
-        for expr, out_alias in core.projections:
-            if isinstance(expr, Literal):
-                label = out_alias or "literal"
-                items.append((None, expr.value, label))
+        for loc, value, out_alias in projection_locs:
+            if loc is None:
+                items.append((None, value, out_alias or "literal"))
             else:
-                alias, name = resolve(expr)
-                qualified = f"{alias}.{name}"
-                position = composite.columns.index(qualified)
+                alias, name = loc
+                position = composite.columns.index(f"{alias}.{name}")
                 items.append((position, None, out_alias or name))
         projected = Project(composite, items, self.params)
         if core.distinct:
@@ -282,17 +585,74 @@ class Planner:
         return projected
 
     # ------------------------------------------------------------------
+    def _hash_join_estimate(
+        self,
+        left: Operator,
+        right: Operator,
+        keys: List[Tuple[Tuple[str, str], Tuple[str, str]]],
+    ) -> float:
+        """Cost of ``HashJoin(left, right)`` without constructing it.
+
+        Mirrors :class:`HashJoin`'s own estimate (including the index
+        nested-loop discount) so the greedy join ordering can compare
+        candidates arithmetically.
+        """
+        selectivity = 1.0
+        for outer_loc, inner_loc in keys:
+            left_ndv = left.est_ndv.get(
+                f"{outer_loc[0]}.{outer_loc[1]}", left.est_rows or 1.0
+            )
+            right_ndv = right.est_ndv.get(
+                f"{inner_loc[0]}.{inner_loc[1]}", right.est_rows or 1.0
+            )
+            selectivity /= max(1.0, max(left_ndv, right_ndv))
+        est_rows = left.est_rows * right.est_rows * selectivity
+        left_index = self._label_index_side(left, [o for o, _ in keys])
+        right_index = self._label_index_side(right, [i for _, i in keys])
+        if left_index is not None and right_index is not None:
+            if left.est_rows >= right.est_rows:
+                index_side: Optional[str] = "left"
+            else:
+                index_side = "right"
+        elif left_index is not None:
+            index_side = "left"
+        elif right_index is not None:
+            index_side = "right"
+        else:
+            index_side = None
+        return HashJoin.estimate_cost(
+            left, right, est_rows, index_side, self.params
+        )
+
+    @staticmethod
+    def _label_index_side(operator: Operator, locs) -> Optional[object]:
+        """Map (alias, column) locs to positions and ask the executor's
+        own eligibility rule, so the join-order estimate can never drift
+        from what :class:`HashJoin` actually does."""
+        if not isinstance(operator, SeqScan) or operator.filters:
+            return None
+        columns = operator.table.columns
+        try:
+            positions = [columns.index(column) for _alias, column in locs]
+        except ValueError:
+            return None
+        return _index_join_side(operator, positions)
+
+    # ------------------------------------------------------------------
     def _order_joins(
         self,
         leaves: Dict[str, Operator],
         alias_order: List[str],
         join_edges: List[Tuple[Tuple[str, str], Tuple[str, str], str]],
+        needed_labels: Set[str],
+        set_semantics: bool = False,
     ) -> Operator:
         remaining: Set[str] = set(alias_order)
         if len(remaining) == 1:
             return leaves[alias_order[0]]
 
         pending = list(join_edges)
+        params = self.params
 
         def join_keys(in_composite: Set[str], alias: str):
             """Equality edges connecting *alias* to the current composite."""
@@ -312,32 +672,42 @@ class Planner:
         composite = leaves[start]
         in_composite = {start}
         remaining.discard(start)
+        positions = {label: i for i, label in enumerate(composite.columns)}
 
         while remaining:
             best_alias = None
-            best_plan = None
+            best_keys = None
             best_cost = None
             for alias in sorted(remaining):
                 keys = join_keys(in_composite, alias)
+                leaf = leaves[alias]
                 if keys:
-                    key_pairs = [
-                        (
-                            composite.columns.index(f"{o[0]}.{o[1]}"),
-                            leaves[alias].columns.index(f"{i[0]}.{i[1]}"),
-                        )
-                        for o, i in keys
-                    ]
-                    candidate: Operator = HashJoin(
-                        composite, leaves[alias], key_pairs, self.params
-                    )
+                    cost = self._hash_join_estimate(composite, leaf, keys)
                 else:
-                    candidate = CrossJoin(composite, leaves[alias], self.params)
-                if best_cost is None or candidate.cost < best_cost:
-                    best_cost = candidate.cost
-                    best_plan = candidate
+                    cost = (
+                        composite.cost
+                        + leaf.cost
+                        + params.cross_join_penalty
+                        * (composite.est_rows * leaf.est_rows)
+                    )
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_keys = keys
                     best_alias = alias
-            assert best_alias is not None and best_plan is not None
-            composite = best_plan
+            assert best_alias is not None
+            leaf = leaves[best_alias]
+            if best_keys:
+                key_pairs = [
+                    (
+                        positions[f"{o[0]}.{o[1]}"],
+                        leaf.columns.index(f"{i[0]}.{i[1]}"),
+                    )
+                    for o, i in best_keys
+                ]
+                composite = HashJoin(composite, leaf, key_pairs, params)
+            else:
+                composite = CrossJoin(composite, leaf, params)
+            positions = {label: i for i, label in enumerate(composite.columns)}
             in_composite.add(best_alias)
             remaining.discard(best_alias)
             # Apply residual (non-key) predicates that just became closed.
@@ -359,18 +729,38 @@ class Planner:
             for left_loc, right_loc, op in closed:
                 left_label = f"{left_loc[0]}.{left_loc[1]}"
                 right_label = f"{right_loc[0]}.{right_loc[1]}"
-                if (
+                # Only an equality edge is satisfied by serving as the
+                # hash-join key; a <> on the same column pair must still
+                # be applied as a residual filter.
+                if op == "=" and (
                     (left_label, right_label) in used_as_keys
                     or (right_label, left_label) in used_as_keys
                 ):
                     continue
                 residual_pairs.append(
-                    (
-                        composite.columns.index(left_label),
-                        composite.columns.index(right_label),
-                        op,
-                    )
+                    (positions[left_label], positions[right_label], op)
                 )
             if residual_pairs:
                 composite = Filter(composite, residual_pairs)
+            # Prune columns no later operator needs: narrower batches mean
+            # narrower gathers in every join above this one. (A Project
+            # only re-references columns, so pruning costs nothing at
+            # execution.)
+            if remaining:
+                keep = set(needed_labels)
+                for left_loc, right_loc, _op in pending:
+                    keep.add(f"{left_loc[0]}.{left_loc[1]}")
+                    keep.add(f"{right_loc[0]}.{right_loc[1]}")
+                kept = [label for label in composite.columns if label in keep]
+                if kept and len(kept) < len(composite.columns):
+                    composite = Project(
+                        composite,
+                        [(positions[label], None, label) for label in kept],
+                        params,
+                    )
+                    if set_semantics:
+                        composite = Distinct(composite, params)
+                    positions = {
+                        label: i for i, label in enumerate(composite.columns)
+                    }
         return composite

@@ -1,4 +1,11 @@
-"""Tables and hash indexes for the MiniRDBMS storage layer."""
+"""Tables and hash indexes for the MiniRDBMS storage layer.
+
+Tables are row stores (lists of tuples) but serve the vectorized
+executor through :meth:`Table.column_batches`: the rows transposed into
+columnar batches of ``batch_size`` rows, cached until the next write.
+A full-table scan therefore costs one cached transpose per table, not
+one generator frame per row per query.
+"""
 
 from __future__ import annotations
 
@@ -8,10 +15,17 @@ from repro.engine.errors import UnknownColumnError
 
 Row = Tuple
 Value = object
+#: A columnar batch: one sequence per column, all of equal length.
+Batch = Sequence[Sequence]
 
 
 class Index:
-    """A hash index over one or more columns of a table."""
+    """A hash index over one or more columns of a table.
+
+    Single-column indexes bucket by the bare value (no per-row key tuple),
+    so join probes are plain dict lookups; ``single`` tells callers which
+    key shape :attr:`buckets` uses.
+    """
 
     def __init__(self, table: "Table", columns: Sequence[str]) -> None:
         for column in columns:
@@ -22,18 +36,33 @@ class Index:
         self.table = table
         self.columns = tuple(columns)
         self._positions = tuple(table.columns.index(c) for c in columns)
-        self._buckets: Dict[Tuple, List[Row]] = {}
-        for row in table.rows:
-            self._insert(row)
+        self.single = len(self._positions) == 1
+        self._buckets: Dict[object, List[Row]] = {}
+        if self.single:
+            position = self._positions[0]
+            buckets = self._buckets
+            for row in table.rows:
+                value = row[position]
+                bucket = buckets.get(value)
+                if bucket is None:
+                    buckets[value] = [row]
+                else:
+                    bucket.append(row)
+        else:
+            for row in table.rows:
+                self._insert(row)
 
-    def _key(self, row: Row) -> Tuple:
+    def _key(self, row: Row) -> object:
+        if self.single:
+            return row[self._positions[0]]
         return tuple(row[p] for p in self._positions)
 
     def _insert(self, row: Row) -> None:
         self._buckets.setdefault(self._key(row), []).append(row)
 
     def _remove(self, row: Row) -> None:
-        bucket = self._buckets.get(self._key(row))
+        key = self._key(row)
+        bucket = self._buckets.get(key)
         if bucket is None:
             return
         try:
@@ -41,11 +70,23 @@ class Index:
         except ValueError:
             return
         if not bucket:
-            del self._buckets[self._key(row)]
+            del self._buckets[key]
 
     def lookup(self, key: Tuple) -> List[Row]:
-        """Rows whose indexed columns equal *key*."""
+        """Rows whose indexed columns equal *key* (a tuple, one value per
+        indexed column)."""
+        if self.single:
+            return self._buckets.get(key[0], [])
         return self._buckets.get(tuple(key), [])
+
+    @property
+    def buckets(self) -> Dict[object, List[Row]]:
+        """The key -> rows mapping (read-only use: join probes).
+
+        Keys are bare values for single-column indexes, tuples in
+        ``self.columns`` order otherwise.
+        """
+        return self._buckets
 
     def __len__(self) -> int:
         return len(self._buckets)
@@ -64,9 +105,11 @@ class Table:
         self.rows: List[Row] = []
         self.indexes: Dict[Tuple[str, ...], Index] = {}
         self._row_set: Set[Row] = set()
+        # batch_size -> list of columnar batches; dropped on any write.
+        self._batch_cache: Dict[int, List[Batch]] = {}
 
-    def insert(self, row: Sequence[Value]) -> None:
-        """Insert one row (set semantics: duplicates are ignored)."""
+    def insert(self, row: Sequence[Value]) -> bool:
+        """Insert one row (set semantics); True when actually added."""
         row = tuple(row)
         if len(row) != len(self.columns):
             raise ValueError(
@@ -74,27 +117,30 @@ class Table:
                 f"({len(self.columns)} columns)"
             )
         if row in self._row_set:
-            return
+            return False
         self._row_set.add(row)
         self.rows.append(row)
         for index in self.indexes.values():
             index._insert(row)
+        if self._batch_cache:
+            self._batch_cache.clear()
+        return True
 
-    def insert_many(self, rows: Iterable[Sequence[Value]]) -> None:
-        """Bulk insert."""
+    def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Bulk insert; returns how many rows were actually added."""
+        added = 0
         for row in rows:
-            self.insert(row)
+            if self.insert(row):
+                added += 1
+        return added
 
     def delete(self, row: Sequence[Value]) -> bool:
-        """Remove one row; True when it was present."""
-        row = tuple(row)
-        if row not in self._row_set:
-            return False
-        self._row_set.discard(row)
-        self.rows.remove(row)
-        for index in self.indexes.values():
-            index._remove(row)
-        return True
+        """Remove one row; True when it was present.
+
+        Delegates to the batched :meth:`delete_many` path (a direct
+        ``self.rows.remove(row)`` would rescan the row list per call).
+        """
+        return self.delete_many((row,)) == 1
 
     def delete_many(self, rows: Iterable[Sequence[Value]]) -> int:
         """Bulk delete; returns how many rows were actually removed.
@@ -110,7 +156,25 @@ class Table:
         for row in doomed:
             for index in self.indexes.values():
                 index._remove(row)
+        if self._batch_cache:
+            self._batch_cache.clear()
         return len(doomed)
+
+    def column_batches(self, batch_size: int) -> List[Batch]:
+        """The table's rows as columnar batches (cached until a write).
+
+        Each batch is a tuple of per-column value tuples, at most
+        ``batch_size`` rows wide. Callers must not mutate the result.
+        """
+        cached = self._batch_cache.get(batch_size)
+        if cached is None:
+            rows = self.rows
+            cached = [
+                tuple(zip(*rows[start : start + batch_size]))
+                for start in range(0, len(rows), batch_size)
+            ]
+            self._batch_cache[batch_size] = cached
+        return cached
 
     def create_index(self, columns: Sequence[str]) -> Index:
         """Create (or return the existing) hash index on *columns*."""

@@ -149,39 +149,55 @@ KEYWORDS = {
 }
 
 
-@dataclass
 class Token:
-    kind: str  # 'ident', 'keyword', 'number', 'string', 'symbol'
-    value: str
-    position: int
+    """One lexed token (a slotted class: tokenizing dominates parse time
+    on megabyte-scale reformulated statements)."""
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int) -> None:
+        self.kind = kind  # 'ident', 'keyword', 'number', 'string', 'symbol'
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, {self.position})"
 
 
 def tokenize(sql: str) -> List[Token]:
-    """Split *sql* into tokens, raising on unexpected characters."""
+    """Split *sql* into tokens, raising on unexpected characters.
+
+    One ``finditer`` sweep; a gap between consecutive matches marks the
+    first unexpected character.
+    """
     tokens: List[Token] = []
+    append = tokens.append
+    keywords = KEYWORDS
     position = 0
-    while position < len(sql):
-        match = _TOKEN_RE.match(sql, position)
-        if match is None:
+    for match in _TOKEN_RE.finditer(sql):
+        start = match.start()
+        if start != position:
             raise SQLSyntaxError(
                 f"unexpected character {sql[position]!r} at offset {position}"
             )
         position = match.end()
-        if match.lastgroup == "ws":
+        group = match.lastgroup
+        if group == "ws":
             continue
         value = match.group()
-        if match.lastgroup == "ident":
+        if group == "ident":
             lowered = value.lower()
-            if lowered in KEYWORDS:
-                tokens.append(Token("keyword", lowered, match.start()))
+            if lowered in keywords:
+                append(Token("keyword", lowered, start))
             else:
-                tokens.append(Token("ident", value, match.start()))
-        elif match.lastgroup == "number":
-            tokens.append(Token("number", value, match.start()))
-        elif match.lastgroup == "string":
-            tokens.append(Token("string", value, match.start()))
+                append(Token("ident", value, start))
         else:
-            tokens.append(Token("symbol", value, match.start()))
+            # group is 'number' | 'string' | 'neq' | 'symbol'
+            append(Token("neq" if group == "neq" else group, value, start))
+    if position != len(sql):
+        raise SQLSyntaxError(
+            f"unexpected character {sql[position]!r} at offset {position}"
+        )
     return tokens
 
 

@@ -49,14 +49,20 @@ class MemoryBackend(Backend):
             self.db.analyze()
 
     def insert_rows(self, table: str, rows: List[Row]) -> None:
+        # Fold the write's delta into the statistics instead of paying a
+        # full per-batch re-analyze (mirrors SQLiteBackend shadow stats;
+        # statistics are optimizer hints, so approximate distinct counts
+        # never affect answers).
         with self._lock:
-            self.db.insert_many(table, rows)
-            self.db.analyze(table)
+            added = self.db.insert_many(table, rows)
+            if added:
+                self.db.catalog.adjust_statistics(table, inserted=added)
 
     def delete_rows(self, table: str, rows: List[Row]) -> int:
         with self._lock:
             removed = self.db.delete_many(table, rows)
-            self.db.analyze(table)
+            if removed:
+                self.db.catalog.adjust_statistics(table, removed=removed)
             return removed
 
     def apply_changes(self, inserts, deletes) -> None:
@@ -73,4 +79,10 @@ class MemoryBackend(Backend):
 
     def explain_text(self, sql: str) -> str:
         """The engine's EXPLAIN rendering (plan tree with estimates)."""
-        return self.db.explain(sql).text
+        with self._lock:  # planning mutates the shared statement cache
+            return self.db.explain(sql).text
+
+    @property
+    def last_execution(self):
+        """Counters from the most recent execute (benchmark telemetry)."""
+        return self.db.last_execution

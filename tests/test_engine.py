@@ -246,7 +246,7 @@ class TestExplain:
 
     def test_index_probe_used(self, db):
         result = db.explain("SELECT o FROM r_workswith WHERE s = 1")
-        assert "IndexProbe" in result.text
+        assert "IndexScan" in result.text
 
     def test_union_cost_accumulates(self, db):
         single = db.estimated_cost("SELECT s FROM r_workswith")

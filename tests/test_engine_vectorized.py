@@ -1,0 +1,428 @@
+"""Vectorized-engine semantics: batch boundaries, index scans, shared
+scans, the statement cache, and a randomized differential test that runs
+generated CQ/UCQ workloads through both backends and demands identical
+answer sets."""
+
+import random
+
+import pytest
+
+from repro.engine import MiniRDBMS
+from repro.engine.operators import CostParameters
+from repro.storage.layouts import LayoutData, TableSpec
+from repro.storage.memory_backend import MemoryBackend
+from repro.storage.sqlite_backend import SQLiteBackend
+
+
+def _db(batch_size):
+    db = MiniRDBMS(cost_parameters=CostParameters(batch_size=batch_size))
+    student = db.create_table("c_phdstudent", ["s"])
+    student.insert_many([(1,), (2,), (3,), (4,), (5,)])
+    works = db.create_table("r_workswith", ["s", "o"])
+    works.insert_many([(1, 3), (2, 3), (3, 4), (4, 1), (5, 5), (2, 1)])
+    wide = db.create_table("t3", ["a", "b", "c"])  # >2 cols: no auto index
+    wide.insert_many([(1, 1, 7), (1, 2, 7), (2, 2, 8), (3, 4, 9)])
+    db.analyze()
+    return db
+
+
+#: Batch size 1 stresses every batch boundary; 2 stresses partial
+#: batches; 1024 is the production shape.
+BATCH_SIZES = (1, 2, 1024)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+class TestBatchBoundaries:
+    def test_empty_table_scan(self, batch_size):
+        db = MiniRDBMS(cost_parameters=CostParameters(batch_size=batch_size))
+        db.create_table("t", ["a"])
+        db.analyze()
+        assert db.execute("SELECT a FROM t") == []
+
+    def test_single_row(self, batch_size):
+        db = MiniRDBMS(cost_parameters=CostParameters(batch_size=batch_size))
+        db.create_table("t", ["a"]).insert((42,))
+        db.analyze()
+        assert db.execute("SELECT a FROM t") == [(42,)]
+
+    def test_scan_and_filters(self, batch_size):
+        db = _db(batch_size)
+        assert sorted(db.execute("SELECT o FROM r_workswith WHERE s = 2")) == [
+            (1,),
+            (3,),
+        ]
+        assert db.execute("SELECT s FROM r_workswith WHERE s = o") == [(5,)]
+        assert sorted(db.execute("SELECT s FROM c_phdstudent WHERE s <> 3")) == [
+            (1,),
+            (2,),
+            (4,),
+            (5,),
+        ]
+
+    def test_distinct_dedups_across_batches(self, batch_size):
+        db = _db(batch_size)
+        rows = db.execute("SELECT DISTINCT c FROM t3")
+        assert sorted(rows) == [(7,), (8,), (9,)]
+
+    def test_union_dedups_across_arms_and_batches(self, batch_size):
+        db = _db(batch_size)
+        rows = db.execute(
+            "SELECT s FROM c_phdstudent UNION SELECT o FROM r_workswith"
+        )
+        assert sorted(rows) == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_union_all_keeps_duplicates(self, batch_size):
+        db = _db(batch_size)
+        rows = db.execute(
+            "SELECT s FROM c_phdstudent UNION ALL SELECT s FROM c_phdstudent"
+        )
+        assert len(rows) == 10
+
+    def test_hash_join_across_batches(self, batch_size):
+        db = _db(batch_size)
+        rows = db.execute(
+            "SELECT a.s, b.o FROM r_workswith a, r_workswith b WHERE a.o = b.s"
+        )
+        assert (1, 4) in rows and (3, 1) in rows
+        # Same result through the generic (non-indexed) path.
+        generic = db.execute(
+            "SELECT x.a, y.b FROM t3 x, t3 y WHERE x.b = y.a"
+        )
+        assert sorted(generic) == sorted(
+            (r1[0], r2[1])
+            for r1 in [(1, 1), (1, 2), (2, 2), (3, 4)]
+            for r2 in [(1, 1), (1, 2), (2, 2), (3, 4)]
+            if r1[1] == r2[0]
+        )
+
+    def test_cross_join(self, batch_size):
+        db = _db(batch_size)
+        rows = db.execute("SELECT p.s, w.a FROM c_phdstudent p, t3 w")
+        assert len(rows) == 20
+
+    def test_cte_join(self, batch_size):
+        db = _db(batch_size)
+        rows = db.execute(
+            "WITH f AS (SELECT DISTINCT s FROM r_workswith) "
+            "SELECT p.s FROM c_phdstudent p, f f WHERE p.s = f.s"
+        )
+        assert sorted(rows) == [(1,), (2,), (3,), (4,), (5,)]
+
+
+class TestIndexScan:
+    def test_explain_renders_index_scan(self):
+        db = _db(1024)
+        text = db.explain("SELECT o FROM r_workswith WHERE s = 1").text
+        assert "IndexScan" in text
+
+    def test_index_scan_with_residual_filter(self):
+        db = _db(1024)
+        # s is indexed; o becomes a residual filter on the bucket.
+        rows = db.execute("SELECT s FROM r_workswith WHERE s = 2 AND o = 1")
+        assert rows == [(2,)]
+        text = db.explain("SELECT s FROM r_workswith WHERE s = 2 AND o = 1").text
+        assert "IndexScan" in text
+
+    def test_index_scan_cheaper_than_seq_scan(self):
+        db = _db(1024)
+        full = db.estimated_cost("SELECT s FROM r_workswith")
+        probe = db.estimated_cost("SELECT s FROM r_workswith WHERE s = 1")
+        assert probe < full
+
+    def test_analyze_creates_key_indexes(self):
+        db = MiniRDBMS()
+        db.create_table("r_x", ["s", "o"]).insert((1, 2))
+        db.create_table("wide", ["a", "b", "c"]).insert((1, 2, 3))
+        db.analyze()
+        assert db.catalog.table("r_x").index_on(("s",)) is not None
+        assert db.catalog.table("r_x").index_on(("o",)) is not None
+        assert db.catalog.table("wide").index_on(("a",)) is None
+
+    def test_index_nested_loop_join_in_explain(self):
+        db = _db(1024)
+        text = db.explain(
+            "SELECT a.s FROM r_workswith a, c_phdstudent p WHERE a.s = p.s"
+        ).text
+        assert "index probe into" in text
+
+
+class TestSharedScans:
+    def test_union_arms_share_filtered_scan(self):
+        db = _db(1024)
+        sql = (
+            "SELECT a.o AS x FROM r_workswith a WHERE a.s = 2 "
+            "UNION SELECT b.o AS x FROM r_workswith b WHERE b.s = 2"
+        )
+        text = db.explain(sql).text
+        assert "Materialize _shared_0 (shared scan)" in text
+        assert "CTEScan _shared_0" in text
+        assert sorted(db.execute(sql)) == [(1,), (3,)]
+
+    def test_shared_subquery_across_arms(self):
+        db = _db(1024)
+        inner = "(SELECT s AS v FROM c_phdstudent UNION ALL SELECT o AS v FROM r_workswith)"
+        sql = (
+            f"SELECT d.v FROM {inner} d WHERE d.v = 1 "
+            f"UNION SELECT e.v FROM {inner} e WHERE e.v = 1"
+        )
+        text = db.explain(sql).text
+        assert "shared scan" in text
+        assert db.execute(sql) == [(1,)]
+
+    def test_different_filters_not_shared(self):
+        db = _db(1024)
+        sql = (
+            "SELECT a.o AS x FROM r_workswith a WHERE a.s = 1 "
+            "UNION SELECT b.o AS x FROM r_workswith b WHERE b.s = 2"
+        )
+        assert "shared scan" not in db.explain(sql).text
+        assert sorted(db.execute(sql)) == [(1,), (3,)]
+
+    def test_unfiltered_scans_not_shared(self):
+        # Unfiltered base scans serve cached batches already; sharing
+        # them would only hide the join indexes.
+        db = _db(1024)
+        sql = "SELECT s FROM c_phdstudent UNION SELECT o FROM r_workswith"
+        assert "shared scan" not in db.explain(sql).text
+
+    def test_shared_scan_with_mixed_type_literals(self):
+        # Filters mixing int and string literals on one column must not
+        # crash fingerprint ordering (int < str is a TypeError).
+        db = MiniRDBMS()
+        db.create_table("t", ["a"]).insert_many([(1,), (2,)])
+        db.analyze()
+        sql = (
+            "SELECT x.a AS v FROM t x WHERE x.a <> 1 AND x.a <> 'x' "
+            "UNION SELECT y.a AS v FROM t y WHERE y.a <> 1 AND y.a <> 'x'"
+        )
+        assert db.execute(sql) == [(2,)]
+
+    def test_shared_scan_coexists_with_user_ctes(self):
+        db = _db(1024)
+        sql = (
+            "WITH f AS (SELECT s FROM c_phdstudent) "
+            "SELECT a.o AS x FROM r_workswith a WHERE a.s = 2 "
+            "UNION SELECT b.o AS x FROM r_workswith b WHERE b.s = 2 "
+            "UNION SELECT f.s AS x FROM f f"
+        )
+        assert sorted(db.execute(sql)) == [(1,), (2,), (3,), (4,), (5,)]
+
+
+class TestResidualPredicates:
+    def test_inequality_survives_matching_join_key(self):
+        # x.a = y.b as the hash-join key must not swallow the
+        # contradictory x.a <> y.b residual (unsatisfiable query).
+        db = MiniRDBMS()
+        db.create_table("t", ["a", "b"]).insert_many([(1, 1), (1, 2)])
+        db.analyze()
+        rows = db.execute(
+            "SELECT x.a FROM t x, t y WHERE x.a = y.b AND x.a <> y.b"
+        )
+        assert rows == []
+
+
+class TestStatementCache:
+    def test_repeat_execution_hits_cache(self):
+        db = _db(1024)
+        sql = "SELECT s FROM c_phdstudent WHERE s = 1"
+        first = db.execute(sql)
+        misses = db.plan_cache_misses
+        second = db.execute(sql)
+        assert first == second == [(1,)]
+        assert db.plan_cache_hits >= 1
+        assert db.plan_cache_misses == misses
+
+    def test_write_invalidates_cached_plans(self):
+        db = _db(1024)
+        sql = "SELECT s FROM c_phdstudent WHERE s = 9"
+        assert db.execute(sql) == []
+        db.insert_many("c_phdstudent", [(9,)])
+        db.analyze("c_phdstudent")
+        assert db.execute(sql) == [(9,)]
+
+    def test_ddl_invalidates_cached_plans(self):
+        db = _db(1024)
+        sql = "SELECT s FROM c_phdstudent"
+        assert len(db.execute(sql)) == 5
+        db.create_table("c_phdstudent", ["s"])  # replace with empty
+        assert db.execute(sql) == []
+
+    def test_cache_disabled(self):
+        db = MiniRDBMS(plan_cache_size=0)
+        db.create_table("t", ["a"]).insert((1,))
+        db.analyze()
+        assert db.execute("SELECT a FROM t") == [(1,)]
+        assert db.execute("SELECT a FROM t") == [(1,)]
+        assert db.plan_cache_hits == 0
+
+
+class TestWritePathStatistics:
+    def test_table_delete_delegates_to_batch_path(self):
+        db = _db(1024)
+        table = db.catalog.table("c_phdstudent")
+        assert table.delete((1,)) is True
+        assert table.delete((1,)) is False
+        assert len(table) == 4
+
+    def test_insert_rows_folds_delta_statistics(self):
+        backend = MemoryBackend()
+        backend.load(
+            LayoutData(
+                tables=[
+                    TableSpec(
+                        name="c_x", columns=("s",), rows=[(1,), (2,)], indexes=(("s",),)
+                    )
+                ]
+            )
+        )
+        before = backend.db.catalog.statistics("c_x").cardinality
+        backend.insert_rows("c_x", [(3,), (4,), (4,)])
+        stats = backend.db.catalog.statistics("c_x")
+        assert before == 2 and stats.cardinality == 4
+        removed = backend.delete_rows("c_x", [(1,), (99,)])
+        assert removed == 1
+        assert backend.db.catalog.statistics("c_x").cardinality == 3
+
+    def test_batch_counters_exposed(self):
+        db = _db(2)
+        db.execute("SELECT s FROM c_phdstudent")
+        assert db.last_execution is not None
+        assert db.last_execution.batches >= 3  # 5 rows at batch size 2
+        assert db.last_execution.rows == 5
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential testing against SQLite
+# ---------------------------------------------------------------------------
+
+CONCEPTS = ("c_a", "c_b", "c_c")
+ROLES = ("r_p", "r_q", "r_r")
+
+
+def _random_layout(rng):
+    tables = []
+    for name in CONCEPTS:
+        rows = sorted({(rng.randrange(8),) for _ in range(rng.randrange(1, 10))})
+        tables.append(
+            TableSpec(name=name, columns=("s",), rows=list(rows), indexes=(("s",),))
+        )
+    for name in ROLES:
+        rows = sorted(
+            {
+                (rng.randrange(8), rng.randrange(8))
+                for _ in range(rng.randrange(1, 14))
+            }
+        )
+        tables.append(
+            TableSpec(
+                name=name,
+                columns=("s", "o"),
+                rows=list(rows),
+                indexes=(("s",), ("o",), ("s", "o")),
+            )
+        )
+    return LayoutData(tables=tables)
+
+
+def _random_core(rng, arity):
+    """One SELECT block over random sources with random predicates."""
+    sources = []
+    for i in range(rng.randrange(1, 4)):
+        table = rng.choice(CONCEPTS + ROLES)
+        sources.append((f"t{i}", table, ("s",) if table.startswith("c_") else ("s", "o")))
+    conditions = []
+    for i in range(1, len(sources)):
+        # Connect to an earlier source most of the time (else cross join).
+        if rng.random() < 0.85:
+            left_alias, _t, left_cols = sources[rng.randrange(i)]
+            alias, _t2, cols = sources[i]
+            conditions.append(
+                f"{left_alias}.{rng.choice(left_cols)} = {alias}.{rng.choice(cols)}"
+            )
+    for alias, _table, cols in sources:
+        if rng.random() < 0.4:
+            op = "=" if rng.random() < 0.8 else "<>"
+            conditions.append(f"{alias}.{rng.choice(cols)} {op} {rng.randrange(8)}")
+        if len(cols) == 2 and rng.random() < 0.15:
+            conditions.append(f"{alias}.s = {alias}.o")
+    projections = []
+    for _ in range(arity):
+        alias, _table, cols = rng.choice(sources)
+        projections.append(f"{alias}.{rng.choice(cols)}")
+    sql = "SELECT "
+    if rng.random() < 0.5:
+        sql += "DISTINCT "
+    sql += ", ".join(
+        f"{p} AS out{i}" for i, p in enumerate(projections)
+    )
+    sql += " FROM " + ", ".join(f"{t} {a}" for a, t, _ in sources)
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql
+
+
+def _random_statement(rng):
+    arity = rng.randrange(1, 3)
+    arms = [_random_core(rng, arity) for _ in range(rng.randrange(1, 4))]
+    if len(arms) == 1:
+        return arms[0]
+    connector = " UNION " if rng.random() < 0.7 else " UNION ALL "
+    return connector.join(arms)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_differential_random_workloads(seed):
+    """MemoryBackend and SQLiteBackend agree on random CQ/UCQ workloads."""
+    rng = random.Random(1000 + seed)
+    data = _random_layout(rng)
+    memory = MemoryBackend()
+    memory.load(data)
+    sqlite = SQLiteBackend()
+    sqlite.load(data)
+    try:
+        for _ in range(25):
+            sql = _random_statement(rng)
+            ours = sorted(memory.execute(sql))
+            theirs = sorted(sqlite.execute(sql))
+            assert ours == theirs, f"divergence on: {sql}"
+    finally:
+        sqlite.close()
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_differential_small_batches(batch_size):
+    """Batch boundaries never change answers (vs SQLite)."""
+    rng = random.Random(77)
+    data = _random_layout(rng)
+    memory = MemoryBackend(
+        cost_parameters=CostParameters(batch_size=batch_size)
+    )
+    memory.load(data)
+    sqlite = SQLiteBackend()
+    sqlite.load(data)
+    try:
+        for _ in range(25):
+            sql = _random_statement(rng)
+            assert sorted(memory.execute(sql)) == sorted(sqlite.execute(sql))
+    finally:
+        sqlite.close()
+
+
+def test_differential_jucq_shape():
+    """The WITH-based fragment-join shape both backends must agree on."""
+    rng = random.Random(5)
+    data = _random_layout(rng)
+    memory = MemoryBackend()
+    memory.load(data)
+    sqlite = SQLiteBackend()
+    sqlite.load(data)
+    sql = (
+        "WITH f0 AS (SELECT s AS v_x FROM c_a UNION SELECT s AS v_x FROM r_p), "
+        "f1 AS (SELECT s AS v_x, o AS v_y FROM r_q UNION SELECT s AS v_x, o AS v_y FROM r_r) "
+        "SELECT DISTINCT f0.v_x AS ans0, f1.v_y AS ans1 "
+        "FROM f0 f0, f1 f1 WHERE f0.v_x = f1.v_x"
+    )
+    try:
+        assert sorted(memory.execute(sql)) == sorted(sqlite.execute(sql))
+    finally:
+        sqlite.close()
