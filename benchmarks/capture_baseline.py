@@ -1,0 +1,72 @@
+"""Capture an engine benchmark baseline (raw Fig 3 evaluation rows).
+
+Runs the Figure 3 MiniRDBMS sims at the requested scales and writes the
+raw per-query rows in the format ``EngineBenchReport`` expects of a
+baseline file (``{run_name: [rows]}``). CI's regression gate compares
+every later ``BENCH_engine.json`` against these rows, so re-capture a
+baseline only deliberately — on the commit whose engine you want future
+speedups measured against::
+
+    # the tiny-scale baseline the CI smoke job diffs against
+    REPRO_BENCH_PAPER15M=tiny REPRO_BENCH_PAPER100M=tiny \
+        PYTHONPATH=src python benchmarks/capture_baseline.py \
+        benchmarks/baseline_engine_tiny.json
+
+    # the default-scale baseline used by the full benchmark job
+    PYTHONPATH=src python benchmarks/capture_baseline.py \
+        benchmarks/baseline_engine.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.bench.generator import generate_abox
+from repro.bench.harness import DEFAULT_VARIANTS, evaluation_experiment
+from repro.bench.lubm import lubm_exists_tbox
+from repro.bench.queries import benchmark_queries
+from repro.obda.system import OBDASystem
+
+#: Same warm min-of-N protocol as the Fig 2/3 sims.
+EVAL_REPEAT = 3
+
+#: Row fields stored in the baseline (must stay a superset of what
+#: ``EngineBenchReport._baseline_eval`` matches on).
+FIELDS = ("query", "variant", "sql_chars", "eval_ms", "answers", "status")
+
+
+def capture(path: str) -> None:
+    """Run the simple-layout Fig 3 sims and write the baseline rows."""
+    scale_15m = os.environ.get("REPRO_BENCH_PAPER15M", "small")
+    scale_100m = os.environ.get("REPRO_BENCH_PAPER100M", "medium")
+    tbox = lubm_exists_tbox()
+    queries = benchmark_queries()
+    runs = {}
+    for run, scale in (
+        ("fig3_simple_15m", scale_15m),
+        ("fig3_simple_100m", scale_100m),
+    ):
+        system = OBDASystem(
+            tbox, generate_abox(scale), backend="memory", layout="simple"
+        )
+        result = evaluation_experiment(
+            system,
+            queries,
+            DEFAULT_VARIANTS,
+            title=f"baseline {run} ({scale})",
+            repeat=EVAL_REPEAT,
+        )
+        runs[run] = [
+            {field: row.get(field) for field in FIELDS if field in row}
+            for row in result.rows
+        ]
+        print(result.table())
+    with open(path, "w") as handle:
+        json.dump(runs, handle, indent=1)
+    print(f"baseline written to {path}")
+
+
+if __name__ == "__main__":
+    capture(sys.argv[1] if len(sys.argv) > 1 else "benchmarks/baseline_engine_tiny.json")

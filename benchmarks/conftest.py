@@ -25,11 +25,21 @@ SCALE_15M = os.environ.get("REPRO_BENCH_PAPER15M", "small")
 SCALE_100M = os.environ.get("REPRO_BENCH_PAPER100M", "medium")
 
 #: Where the machine-readable engine benchmark report lands (CI uploads
-#: it as an artifact). Baseline speedups only make sense at the default
-#: scales, so the baseline is ignored when scales are overridden.
+#: it as an artifact). Baselines are recorded per scale
+#: (``capture_baseline.py``): the default scales diff against
+#: ``baseline_engine.json``, the tiny smoke scale against
+#: ``baseline_engine_tiny.json``; any other override runs without a
+#: baseline. ``check_engine_regressions.py`` turns the diff into a CI
+#: gate.
 BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_engine.json")
 _AT_DEFAULT_SCALES = SCALE_15M == "small" and SCALE_100M == "medium"
-BASELINE_JSON = Path(__file__).parent / "baseline_engine.json"
+_AT_TINY_SCALES = SCALE_15M == "tiny" and SCALE_100M == "tiny"
+if _AT_DEFAULT_SCALES:
+    BASELINE_JSON = Path(__file__).parent / "baseline_engine.json"
+elif _AT_TINY_SCALES:
+    BASELINE_JSON = Path(__file__).parent / "baseline_engine_tiny.json"
+else:
+    BASELINE_JSON = None
 
 
 @pytest.fixture(scope="session")
@@ -64,9 +74,7 @@ def engine_report():
     """Session-wide collector for the Fig 2/3 evaluation rows; writes
     ``BENCH_engine.json`` (timings, batch counts, speedup vs the recorded
     pre-PR baseline) at teardown."""
-    report = EngineBenchReport(
-        baseline_path=BASELINE_JSON if _AT_DEFAULT_SCALES else None
-    )
+    report = EngineBenchReport(baseline_path=BASELINE_JSON)
     yield report
     written = report.write(BENCH_JSON)
     if written is not None:

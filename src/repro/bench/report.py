@@ -31,6 +31,7 @@ class EngineBenchReport:
 
     def __init__(self, baseline_path: Optional[Union[str, Path]] = None) -> None:
         self.runs: Dict[str, List[Dict]] = {}
+        self.extras: Dict[str, Dict] = {}
         self.baseline: Dict[str, List[Dict]] = {}
         if baseline_path is not None:
             path = Path(baseline_path)
@@ -45,6 +46,11 @@ class EngineBenchReport:
             {field: row.get(field) for field in self.FIELDS if field in row}
             for row in rows
         ]
+
+    def extra(self, name: str, payload: Dict) -> None:
+        """Attach a free-form summary block (e.g. the parallel-serving
+        scaling measurements) under ``extras.<name>`` in the report."""
+        self.extras[name] = payload
 
     # ------------------------------------------------------------------
     def _baseline_eval(self, run: str, row: Dict) -> Optional[float]:
@@ -89,11 +95,13 @@ class EngineBenchReport:
         overall = _geomean(all_speedups)
         if overall is not None:
             report["geomean_speedup_vs_baseline"] = round(overall, 2)
+        if self.extras:
+            report["extras"] = self.extras
         return report
 
     def write(self, path: Union[str, Path]) -> Optional[Path]:
         """Write the report (no-op when nothing was recorded)."""
-        if not self.runs:
+        if not self.runs and not self.extras:
             return None
         path = Path(path)
         with path.open("w") as handle:

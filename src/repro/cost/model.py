@@ -17,7 +17,7 @@ per backend the way the paper calibrates "a few constant coefficients".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.cost.statistics import DataStatistics
@@ -47,6 +47,20 @@ class ExternalCostParameters:
     output_per_row: float = 0.4
     dedup_per_row: float = 1.1
     materialize_per_row: float = 0.9
+    #: Degree of parallelism of the modeled backend's executor.
+    workers: int = 1
+    #: Fraction of linear scaling one extra worker actually delivers —
+    #: a *measured* quantity (see :meth:`ExternalCostModel.
+    #: learn_parallelism`), not an assumption: morsel scheduling, merge
+    #: barriers and (on CPython) the GIL keep it well below 1.
+    parallel_efficiency: float = 0.7
+
+    def parallel_speedup(self) -> float:
+        """Discount factor for per-row work: ``1 + eff * (workers-1)``,
+        exactly 1.0 at one worker so serial costing is untouched."""
+        if self.workers <= 1:
+            return 1.0
+        return max(1.0, 1.0 + self.parallel_efficiency * (self.workers - 1))
 
 
 @dataclass
@@ -79,6 +93,27 @@ class ExternalCostModel:
     def estimated_rows(self, query: AnyQuery) -> float:
         """Estimated result cardinality of *query*."""
         return self._dispatch(query).rows
+
+    def learn_parallelism(self, workers: int, observed_speedup: float) -> float:
+        """Calibrate the parallelism discount from a measurement.
+
+        ``observed_speedup`` is the backend's measured serial/parallel
+        wall-clock ratio at *workers*. The per-worker efficiency that
+        reproduces it is stored in :attr:`parameters` (replacing the
+        frozen dataclass), so subsequent estimates price per-row work at
+        the *observed* discount rather than an assumed-linear one.
+        Returns the learned efficiency.
+        """
+        if workers <= 1:
+            efficiency = 0.0
+        else:
+            efficiency = max(
+                0.0, min(1.0, (observed_speedup - 1.0) / (workers - 1))
+            )
+        self.parameters = replace(
+            self.parameters, workers=workers, parallel_efficiency=efficiency
+        )
+        return efficiency
 
     # ------------------------------------------------------------------
     def _dispatch(self, query: AnyQuery) -> Estimate:
@@ -113,12 +148,13 @@ class ExternalCostModel:
         rows = cardinality
         for position in bound_positions:
             rows /= max(1.0, float(self.statistics.distinct(atom.predicate, position)))
+        speedup = params.parallel_speedup()
         if bound_positions:
             # An applicable index turns the scan into a probe (the
             # engine's planner routes such predicates to IndexScan).
-            cost = params.index_access + params.index_probe_per_row * rows
+            cost = params.index_access + params.index_probe_per_row * rows / speedup
         else:
-            cost = params.scan_per_row * cardinality
+            cost = params.scan_per_row * cardinality / speedup
         ndv: Dict[Variable, float] = {}
         for position, term in enumerate(atom.args):
             if is_variable(term):
@@ -161,18 +197,19 @@ class ExternalCostModel:
             # access cost plus linear join work) or an index-nested-loop
             # probing the atom's table once per current row (the simple
             # layout declares every one- and two-attribute index).
+            speedup = params.parallel_speedup()
             hash_cost = (
                 other.cost
-                + params.join_per_row * (current.rows + other.rows)
+                + params.join_per_row * (current.rows + other.rows) / speedup
             )
             if shared:
-                index_cost = current.rows * params.index_access
+                index_cost = current.rows * params.index_access / speedup
             else:
                 index_cost = float("inf")  # no join key: cartesian, no index
             cost = (
                 current.cost
                 + min(hash_cost, index_cost)
-                + params.output_per_row * rows
+                + params.output_per_row * rows / speedup
             )
             ndv: Dict[Variable, float] = {}
             for source in (current.ndv, other.ndv):
@@ -187,7 +224,9 @@ class ExternalCostModel:
             if is_variable(term):
                 head_ndv_product *= current.ndv.get(term, current.rows or 1.0)
         distinct_rows = max(1.0, min(current.rows, head_ndv_product))
-        cost = current.cost + params.dedup_per_row * current.rows
+        cost = current.cost + (
+            params.dedup_per_row * current.rows / params.parallel_speedup()
+        )
         return Estimate(cost=cost, rows=distinct_rows, ndv=current.ndv)
 
     def _estimate_union_blocks(self, disjuncts: Sequence[CQ]) -> Estimate:
@@ -196,7 +235,9 @@ class ExternalCostModel:
     def _estimate_union(self, estimates: Sequence[Estimate]) -> Estimate:
         params = self.parameters
         rows = sum(e.rows for e in estimates)
-        cost = sum(e.cost for e in estimates) + params.dedup_per_row * rows
+        cost = sum(e.cost for e in estimates) + (
+            params.dedup_per_row * rows / params.parallel_speedup()
+        )
         ndv: Dict[Variable, float] = {}
         for estimate in estimates:
             for variable, value in estimate.ndv.items():
@@ -212,11 +253,12 @@ class ExternalCostModel:
         materialize: bool = False,
     ) -> Estimate:
         params = self.parameters
+        speedup = params.parallel_speedup()
         current = components[0]
         current_vars = {t for t in component_heads[0] if is_variable(t)}
         cost = current.cost
         if materialize:
-            cost += params.materialize_per_row * current.rows
+            cost += params.materialize_per_row * current.rows / speedup
         current = Estimate(cost=cost, rows=current.rows, ndv=dict(current.ndv))
         for estimate, component_head_terms in zip(
             components[1:], component_heads[1:]
@@ -232,9 +274,12 @@ class ExternalCostModel:
             cost = (
                 current.cost
                 + estimate.cost
-                + (params.materialize_per_row * estimate.rows if materialize else 0.0)
-                + params.join_per_row * (current.rows + estimate.rows)
-                + params.output_per_row * rows
+                + (
+                    (params.materialize_per_row * estimate.rows if materialize else 0.0)
+                    + params.join_per_row * (current.rows + estimate.rows)
+                    + params.output_per_row * rows
+                )
+                / speedup
             )
             ndv: Dict[Variable, float] = {}
             for source in (current.ndv, estimate.ndv):
@@ -250,7 +295,7 @@ class ExternalCostModel:
                 head_ndv *= current.ndv.get(term, current.rows or 1.0)
         distinct_rows = max(1.0, min(current.rows, head_ndv))
         return Estimate(
-            cost=current.cost + params.dedup_per_row * current.rows,
+            cost=current.cost + params.dedup_per_row * current.rows / speedup,
             rows=distinct_rows,
             ndv=current.ndv,
         )

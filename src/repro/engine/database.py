@@ -9,6 +9,7 @@ simply cannot be evaluated (§6.3).
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog
@@ -16,6 +17,7 @@ from repro.engine.errors import StatementTooLongError
 from repro.engine.executor import ExecutionStats, execute_plan
 from repro.engine.explain import ExplainResult, explain_plan
 from repro.engine.operators import CostParameters, DEFAULT_COSTS
+from repro.engine.parallel import ParallelContext
 from repro.engine.planner import Plan, Planner
 from repro.engine.relation import Table
 from repro.engine.sqlparser import parse_sql
@@ -29,17 +31,43 @@ DB2_STATEMENT_LIMIT = 2_000_000
 
 
 class MiniRDBMS:
-    """An embedded, in-memory RDBMS with a cost-based optimizer."""
+    """An embedded, in-memory RDBMS with a cost-based optimizer.
+
+    The public facade of :mod:`repro.engine`: DDL (``create_table`` /
+    ``create_index`` / ``analyze``), row-level DML, and SQL execution
+    through a statement cache, a cost-based planner and a vectorized,
+    morsel-driven executor. ``workers`` (default from the
+    ``REPRO_WORKERS`` environment variable, else 1) sets the engine's
+    degree of parallelism: at 1 every statement runs the serial
+    vectorized path; above 1 pipelines are split into morsels executed
+    on a pool shared by all queries against this instance, and the cost
+    model discounts per-row work by the configured parallel efficiency.
+    """
 
     def __init__(
         self,
         max_statement_length: int = DB2_STATEMENT_LIMIT,
         cost_parameters: CostParameters = DEFAULT_COSTS,
         plan_cache_size: int = 256,
+        workers: Optional[int] = None,
+        parallel_context: Optional[ParallelContext] = None,
     ) -> None:
         self.catalog = Catalog()
         self.max_statement_length = max_statement_length
+        #: The engine's worker pool and morsel scheduling policy. Shared
+        #: by every statement executed here, so the machine-wide thread
+        #: count stays bounded regardless of serving concurrency.
+        self.parallel = parallel_context or ParallelContext(workers)
+        if cost_parameters.workers != self.parallel.workers:
+            # Keep the costed and the executed degree of parallelism in
+            # step without mutating the (possibly shared) input object.
+            cost_parameters = replace(
+                cost_parameters, workers=self.parallel.workers
+            )
         self.cost_parameters = cost_parameters
+        # Morsel scheduling must size by actual work, not by costs the
+        # model already discounted for parallelism.
+        self.parallel.cost_discount = cost_parameters.parallel_speedup()
         #: Counters from the most recent :meth:`execute` call.
         self.last_execution: Optional[ExecutionStats] = None
         # Dynamic statement cache (DB2's "package cache"): plans keyed by
@@ -119,14 +147,45 @@ class MiniRDBMS:
     def execute(self, sql: str) -> List[Row]:
         """Run a statement and return its rows."""
         stats = ExecutionStats()
-        rows = execute_plan(self.plan(sql), stats)
+        rows = execute_plan(self.plan(sql), stats, parallel=self.parallel)
         self.last_execution = stats
         return rows
 
     def explain(self, sql: str) -> ExplainResult:
         """The planner's cost estimate for a statement (no execution)."""
-        return explain_plan(self.plan(sql))
+        return explain_plan(self.plan(sql), workers=self.parallel.workers)
 
     def estimated_cost(self, sql: str) -> float:
         """Shortcut: the total estimated cost of a statement."""
         return self.explain(sql).total_cost
+
+    # ------------------------------------------------------------------
+    # Parallelism
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """The engine's configured degree of parallelism."""
+        return self.parallel.workers
+
+    def learn_parallel_efficiency(self, observed_speedup: float) -> float:
+        """Calibrate the cost model from a *measured* parallel speedup.
+
+        Back-solves the per-worker efficiency that reproduces
+        ``observed_speedup`` at the current worker count (see
+        :meth:`~repro.engine.parallel.ParallelContext.learn`), stores it
+        in :attr:`cost_parameters` and invalidates cached plans so later
+        costing uses the truthful discount. Returns the efficiency.
+        """
+        efficiency = self.parallel.learn(observed_speedup)
+        self.cost_parameters = replace(
+            self.cost_parameters, parallel_efficiency=efficiency
+        )
+        self.parallel.cost_discount = self.cost_parameters.parallel_speedup()
+        # Plans cache their cost annotations; force re-planning.
+        self._plan_cache.clear()
+        self._plan_cache_version = -1
+        return efficiency
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the data stays usable)."""
+        self.parallel.close()

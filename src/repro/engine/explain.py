@@ -22,12 +22,15 @@ class ExplainResult:
     ``nodes`` counts the physical operators in the plan (CTE sections —
     including planner-generated shared scans — plus the body); with
     shared-scan unions this is often far below one-pipeline-per-arm.
+    ``workers`` is the degree of parallelism the statement executes at
+    (and that its costs were discounted for).
     """
 
     total_cost: float
     est_rows: float
     text: str
     nodes: int = 0
+    workers: int = 1
 
 
 def _render(op: Operator, depth: int, lines: List[str]) -> int:
@@ -41,7 +44,7 @@ def _render(op: Operator, depth: int, lines: List[str]) -> int:
     return count
 
 
-def explain_plan(plan: Plan) -> ExplainResult:
+def explain_plan(plan: Plan, workers: int = 1) -> ExplainResult:
     """Render *plan* and collect its planner estimates."""
     lines: List[str] = []
     nodes = 0
@@ -49,9 +52,12 @@ def explain_plan(plan: Plan) -> ExplainResult:
         nodes += _render(materialize, 0, lines)
     nodes += _render(plan.body, 0, lines)
     lines.append(f"Total estimated cost: {plan.total_cost:.1f}")
+    if workers > 1:
+        lines.append(f"Degree of parallelism: {workers}")
     return ExplainResult(
         total_cost=plan.total_cost,
         est_rows=plan.est_rows,
         text="\n".join(lines),
         nodes=nodes,
+        workers=workers,
     )

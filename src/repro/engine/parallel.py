@@ -1,0 +1,220 @@
+"""Morsel-driven parallelism: the engine's worker pool and morsel math.
+
+The vectorized engine's unit of data is the columnar batch; the unit of
+*scheduling* is the **morsel** — a contiguous range of a pipeline
+source's batches, small enough that the pool load-balances (a worker
+that drew a cheap morsel pulls the next one) but large enough that
+per-morsel bookkeeping stays negligible. One :class:`ParallelContext`
+owns the engine's thread pool and decides how many morsels a pipeline is
+split into; operators never talk to threads themselves — they only know
+how to serve *partition ``i`` of ``n``* of their output (see
+``batches_partitioned`` in :mod:`repro.engine.operators`).
+
+**Determinism.** Partitions are contiguous slices merged back in
+partition order, so a parallel execution yields exactly the serial
+multiset for duplicate-preserving plans and exactly the serial set for
+deduplicating plans, at any worker count. Tests pin this at workers
+1/2/8.
+
+**Honesty about CPython.** Workers are threads; under the GIL,
+pure-Python pipeline work does not speed up wall-clock on any core
+count (the structure exists, and pays off, for GIL-releasing storage
+like SQLite and for free-threaded builds). :meth:`ParallelContext.learn`
+back-solves the *observed* per-worker efficiency from a measured
+speedup so the cost model's parallelism discount stays truthful instead
+of assuming linear scaling.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: Environment knob: default worker count for every engine instance that
+#: is not given an explicit ``workers`` argument. ``1`` means serial.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob: morsels handed to *each* worker per pipeline.
+#: More morsels per worker = finer load balancing, more per-morsel
+#: overhead.
+MORSELS_ENV = "REPRO_MORSELS_PER_WORKER"
+
+#: Default morsels per worker (4 keeps the pool busy when morsel costs
+#: are skewed, e.g. a filter that matches only in one table region).
+DEFAULT_MORSELS_PER_WORKER = 4
+
+#: Environment knob: the minimum estimated work (planner cost units,
+#: roughly rows touched) one morsel must carry.
+MORSEL_SIZE_ENV = "REPRO_MORSEL_SIZE"
+
+#: Default morsel size. Pipelines estimated below this run serially —
+#: scheduling a pool task costs more than evaluating a tiny pipeline,
+#: so parallelism is reserved for work that can amortize it.
+DEFAULT_MORSEL_SIZE = 4096
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def slice_bounds(count: int, part: int, parts: int) -> Tuple[int, int]:
+    """The contiguous ``[lo, hi)`` range partition *part* of *parts* owns.
+
+    Distributes *count* items as evenly as possible (the first
+    ``count % parts`` partitions get one extra item), preserving order:
+    concatenating all partitions in index order reproduces ``range
+    (count)`` exactly.
+    """
+    if parts <= 1:
+        return (0, count) if part == 0 else (count, count)
+    base, extra = divmod(count, parts)
+    lo = part * base + min(part, extra)
+    hi = lo + base + (1 if part < extra else 0)
+    return lo, hi
+
+
+class ParallelContext:
+    """The engine's degree of parallelism plus its (lazy) thread pool.
+
+    ``workers=1`` (the default, or ``REPRO_WORKERS`` unset) keeps every
+    execution on the untouched serial path — no pool is ever created, no
+    locks taken, no overhead paid. With ``workers>1`` pipelines are split
+    into ``workers * morsels_per_worker`` morsels executed on a shared
+    pool of ``workers`` threads.
+
+    One context is meant to be shared by everything inside one
+    :class:`~repro.engine.database.MiniRDBMS`: concurrent queries submit
+    morsels to the same pool, so the machine-wide thread count stays
+    bounded by ``workers`` regardless of serving concurrency.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        morsels_per_worker: Optional[int] = None,
+        morsel_size: Optional[int] = None,
+    ) -> None:
+        if workers is None:
+            workers = _env_int(WORKERS_ENV, 1)
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if morsels_per_worker is None:
+            morsels_per_worker = _env_int(
+                MORSELS_ENV, DEFAULT_MORSELS_PER_WORKER
+            )
+        if morsel_size is None:
+            morsel_size = _env_int(MORSEL_SIZE_ENV, DEFAULT_MORSEL_SIZE)
+        self.workers = workers
+        self.morsels_per_worker = max(1, morsels_per_worker)
+        self.morsel_size = max(1, morsel_size)
+        #: The factor the cost model divided per-row costs by
+        #: (``CostParameters.parallel_speedup()``). The owning engine
+        #: keeps it in sync; ``partitions_for`` multiplies it back so
+        #: morsel counts reflect actual work, not discounted cost —
+        #: otherwise raising the worker count would shrink estimates
+        #: and self-defeat the parallelism gate.
+        self.cost_discount = 1.0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Whether executions through this context are partitioned."""
+        return self.workers > 1
+
+    def partitions(self) -> int:
+        """The maximum morsels one pipeline is split into."""
+        if self.workers <= 1:
+            return 1
+        return self.workers * self.morsels_per_worker
+
+    def partitions_for(self, estimated_work: float) -> int:
+        """How many morsels a pipeline of *estimated_work* gets.
+
+        *estimated_work* is the pipeline root's cumulative planner cost
+        (cost units are roughly rows touched), which the cost model has
+        already discounted by :attr:`cost_discount` — undone here, so
+        the gate sees actual work. Each morsel must carry at least
+        :attr:`morsel_size` units — a pipeline estimated below one
+        morsel runs serially, because scheduling pool tasks would cost
+        more than the pipeline itself; larger pipelines are capped at
+        :meth:`partitions` morsels.
+        """
+        if self.workers <= 1:
+            return 1
+        work = estimated_work * self.cost_discount
+        by_work = int(work // self.morsel_size) + 1
+        return max(1, min(self.partitions(), by_work))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_guard:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._pool
+
+    def map_partitions(
+        self, task: Callable[[int], object], parts: int
+    ) -> List[object]:
+        """Run ``task(0) .. task(parts-1)`` on the pool, results in order.
+
+        The pool has ``workers`` threads, so with ``parts > workers`` the
+        excess morsels queue — which is exactly the morsel-driven load
+        balancing: a worker finishing a cheap morsel immediately draws
+        the next. Exceptions propagate to the caller.
+        """
+        if parts <= 1 or self.workers <= 1:
+            return [task(part) for part in range(parts)]
+        pool = self._ensure_pool()
+        return list(pool.map(task, range(parts)))
+
+    # ------------------------------------------------------------------
+    def learn(self, observed_speedup: float) -> float:
+        """Back-solve per-worker efficiency from a measured speedup.
+
+        ``observed_speedup`` is wall-clock serial time divided by
+        parallel time at this context's worker count. Returns the
+        efficiency in ``[0, 1]`` such that ``1 + eff * (workers - 1)``
+        reproduces the observation — the value the cost model's
+        parallelism discount should use (see
+        :meth:`repro.engine.operators.CostParameters.parallel_speedup`).
+        """
+        if self.workers <= 1:
+            return 0.0
+        efficiency = (observed_speedup - 1.0) / (self.workers - 1)
+        return max(0.0, min(1.0, efficiency))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; safe with work in flight)."""
+        with self._pool_guard:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def aggregate_worker_counters(
+    per_partition: Sequence[Tuple[str, int, int]],
+) -> List[dict]:
+    """Fold per-morsel ``(worker name, batches, rows)`` triples into the
+    per-worker counter dicts :class:`~repro.engine.executor.
+    ExecutionStats` reports."""
+    by_worker: dict = {}
+    for worker, batches, rows in per_partition:
+        entry = by_worker.setdefault(
+            worker, {"worker": worker, "morsels": 0, "batches": 0, "rows": 0}
+        )
+        entry["morsels"] += 1
+        entry["batches"] += batches
+        entry["rows"] += rows
+    return [by_worker[name] for name in sorted(by_worker)]

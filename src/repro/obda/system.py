@@ -46,7 +46,8 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -85,6 +86,11 @@ from repro.optimizer.result import SearchResult
 from repro.queries.cq import CQ
 from repro.queries.terms import is_variable
 from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.serving.concurrency import (
+    AdmissionController,
+    QueryTimeoutError,
+    ReadWriteBarrier,
+)
 from repro.serving.plan_cache import PlanCache
 from repro.sql.translator import SQLTranslator
 from repro.storage.layouts import LayoutData, RDFLayout, SimpleLayout, TableSpec
@@ -146,12 +152,27 @@ class AnswerReport:
 
     @property
     def total_seconds(self) -> float:
+        """Reformulation plus execution time for this answer."""
         reformulation = self.choice.reformulation_seconds if self.choice else 0.0
         return reformulation + self.execution_seconds
 
 
 class OBDASystem:
-    """A loaded OBDA instance: KB + layout + backend + estimators."""
+    """A loaded OBDA instance: KB + layout + backend + estimators.
+
+    The single public entry point of the reproduction (Figure 1 of the
+    paper): construct one with a TBox and an ABox, then call
+    :meth:`answer` (one query), :meth:`answer_many` (a batch, optionally
+    dispatched concurrently over the serving executor with admission
+    control and per-query deadlines), and :meth:`insert_facts` /
+    :meth:`delete_facts` (the epoch-based write path; writes take an
+    exclusive barrier that drains in-flight queries before the backend
+    mutates). Concurrency knobs: ``engine_workers`` sets the in-process
+    engine's morsel-parallel degree (memory backend only),
+    ``serving_workers`` the default ``answer_many`` thread count,
+    ``max_in_flight`` / ``query_timeout_seconds`` the admission bound
+    and per-query deadline every batch inherits.
+    """
 
     def __init__(
         self,
@@ -164,6 +185,10 @@ class OBDASystem:
         plan_cache_size: int = 256,
         materialize: bool = False,
         max_generations: int = 4,
+        engine_workers: Optional[int] = None,
+        serving_workers: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+        query_timeout_seconds: Optional[float] = None,
     ) -> None:
         self.kb = KnowledgeBase(tbox, abox)
         #: When True, every insert_facts re-validates the disjointness
@@ -185,7 +210,7 @@ class OBDASystem:
 
         if isinstance(backend, str):
             if backend == "memory":
-                self.backend = MemoryBackend()
+                self.backend = MemoryBackend(workers=engine_workers)
             elif backend == "sqlite":
                 self.backend = SQLiteBackend()
             else:
@@ -225,6 +250,23 @@ class OBDASystem:
         self._saturator: Optional[Saturator] = None
         self._router = SaturationRouter(self.translator, self.backend)
         self._write_lock = threading.Lock()
+
+        # Serving-layer concurrency: queries hold the barrier's shared
+        # side around their backend read, writes its exclusive side
+        # around the backend/statistics/epoch mutation — so a write
+        # drains in-flight queries and no query ever reads mid-write
+        # state. The executor is shared by every answer_many call and
+        # sized lazily to the largest worker count ever requested.
+        self._barrier = ReadWriteBarrier()
+        self.serving_workers = serving_workers
+        self.max_in_flight = max_in_flight
+        self.query_timeout_seconds = query_timeout_seconds
+        self._serving_pool: Optional[ThreadPoolExecutor] = None
+        self._serving_pool_size = 0
+        self._serving_guard = threading.Lock()
+        #: Telemetry from the most recent concurrent ``answer_many``:
+        #: ``{"workers", "wall_seconds", "admission": {...}}``.
+        self.last_batch_stats: Optional[Dict] = None
         if materialize:
             self.enable_materialization()
 
@@ -352,14 +394,19 @@ class OBDASystem:
         deletes = self._rows_by_table(removed)
         for table in (*inserts, *deletes):
             self._ensure_table(table)
-        # One atomic backend operation: concurrent readers see the whole
-        # write or none of it (both backends serialize reads against it).
-        self.backend.apply_changes(inserts, deletes)
-        self._refresh_statistics(
-            {predicate for predicate, _ in added}
-            | {predicate for predicate, _ in removed}
-        )
-        self.data_epoch += 1
+        # The exclusive barrier drains every in-flight query, then the
+        # backend, the statistics and the epoch all change before the
+        # next query is admitted — a reader can never observe the
+        # backend ahead of the statistics or the epoch behind either.
+        # (Each backend additionally serializes reads against its own
+        # writes, so even barrier-less readers see whole writes.)
+        with self._barrier.exclusive():
+            self.backend.apply_changes(inserts, deletes)
+            self._refresh_statistics(
+                {predicate for predicate, _ in added}
+                | {predicate for predicate, _ in removed}
+            )
+            self.data_epoch += 1
 
     def _rows_by_table(self, facts: Set[Fact]) -> Dict[str, List[Tuple]]:
         """Group facts per backend table, dictionary-encoded."""
@@ -675,13 +722,18 @@ class OBDASystem:
         )
         self._check_saturation_complete(choice)
         started = time.perf_counter()
-        rows = self.backend.execute(choice.sql)
+        # Shared barrier: a concurrent write drains this read before
+        # mutating anything, so the rows and the saturation state the
+        # re-check sees belong to one consistent epoch.
+        with self._barrier.shared():
+            rows = self.backend.execute(choice.sql)
+            # Re-checked *after* execution: a write may have truncated
+            # the saturation between the first check and the table read,
+            # and the rows would then under-approximate. (A write
+            # landing after this point is fine — the answer is the valid
+            # pre-write one.)
+            self._check_saturation_complete(choice)
         execution = time.perf_counter() - started
-        # Re-checked *after* execution: a write may have truncated the
-        # saturation between the first check and the table read, and the
-        # rows would then under-approximate. (A write landing after this
-        # point is fine — the answer is the valid pre-write one.)
-        self._check_saturation_complete(choice)
         answers = self._decode(query, rows)
         return AnswerReport(
             query=query,
@@ -701,15 +753,31 @@ class OBDASystem:
         use_plan_cache: bool = True,
         max_workers: Optional[int] = None,
         on_error: str = "raise",
+        max_in_flight: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
     ) -> List[AnswerReport]:
         """Answer a batch of queries, reports in input order.
 
-        With ``max_workers`` > 1 the batch runs on a thread pool; the plan
-        and fragment caches are thread-safe, fresh estimators are built per
-        call, and :class:`~repro.storage.sqlite_backend.SQLiteBackend`
-        guards its connection — so concurrent batches return exactly the
-        sequential answers. Duplicate queries in one batch are where the
-        plan cache shines: one cold plan, the rest hits.
+        With ``max_workers`` > 1 (or a constructor-level
+        ``serving_workers`` default) the batch is dispatched over the
+        system's **shared serving executor**: one thread pool reused by
+        every batch, so the process-wide thread count stays bounded under
+        sustained traffic. The plan, fragment and cost caches are
+        thread-safe, fresh estimators are built per call, both backends
+        serialize their storage accesses, and writes drain in-flight
+        queries through the read/write barrier — so concurrent batches
+        return exactly the sequential answers, even racing
+        :meth:`insert_facts` / :meth:`delete_facts`. Duplicate queries in
+        one batch are where the plan cache shines: one cold plan, the
+        rest hits (identical misses are single-flighted).
+
+        **Admission control.** At most ``max_in_flight`` queries
+        (default ``2 × max_workers``) are dispatched-but-unfinished at
+        any moment; the rest of the batch waits at the gate.
+        ``timeout_seconds`` is a per-query deadline: a query that blows
+        it gets a :class:`~repro.serving.concurrency.QueryTimeoutError`
+        (its worker thread is abandoned, not killed). Telemetry for the
+        batch lands on :attr:`last_batch_stats`.
 
         ``on_error`` decides what one failing query does to the batch:
         ``"raise"`` (the default) propagates its exception, ``"collect"``
@@ -720,6 +788,10 @@ class OBDASystem:
             raise ValueError(
                 f"on_error must be 'raise' or 'collect', got {on_error!r}"
             )
+        if max_workers is None:
+            max_workers = self.serving_workers
+        if timeout_seconds is None:
+            timeout_seconds = self.query_timeout_seconds
 
         def one(query: Union[str, CQ]) -> AnswerReport:
             # Parsing happens inside the guard: a malformed query string is
@@ -746,9 +818,111 @@ class OBDASystem:
                 )
 
         if max_workers is not None and max_workers > 1 and len(queries) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(one, queries))
+            return self._answer_many_concurrent(
+                queries, one, max_workers, on_error, max_in_flight, timeout_seconds
+            )
         return [one(query) for query in queries]
+
+    def _answer_many_concurrent(
+        self,
+        queries: Sequence[Union[str, CQ]],
+        one,
+        max_workers: int,
+        on_error: str,
+        max_in_flight: Optional[int],
+        timeout_seconds: Optional[float],
+    ) -> List[AnswerReport]:
+        """Dispatch a batch over the shared executor with admission
+        control and per-query deadlines.
+
+        The deadline for each query runs from its *dispatch* (slot
+        admitted, task submitted), not from when the in-order collection
+        loop happens to reach its future — so a query cannot silently
+        overrun its deadline just because an earlier future was waited
+        on first. A query that cannot even be *admitted* within the
+        deadline (every slot held by hung queries) times out at the
+        gate instead of hanging the whole batch.
+        """
+        started = time.perf_counter()
+        if max_in_flight is None:
+            max_in_flight = self.max_in_flight or 2 * max_workers
+        admission = AdmissionController(max_in_flight)
+
+        def admitted(query: Union[str, CQ]) -> AnswerReport:
+            try:
+                return one(query)
+            finally:
+                admission.release()
+
+        def timed_out(query: Union[str, CQ]) -> AnswerReport:
+            error = QueryTimeoutError(timeout_seconds)
+            if on_error == "raise":
+                raise error from None
+            return AnswerReport(
+                query=query,
+                choice=None,
+                answers=set(),
+                cache_stats=self.cache_stats(),
+                error=error,
+            )
+
+        #: (query, future | None, dispatch time); None = never admitted.
+        dispatched: List[Tuple[Union[str, CQ], Optional[Future], float]] = []
+        timed_out_reports: Dict[int, AnswerReport] = {}
+        for position, query in enumerate(queries):
+            if not admission.admit(timeout_seconds):
+                timed_out_reports[position] = timed_out(query)
+                dispatched.append((query, None, 0.0))
+                continue
+            # The shared pool may be swapped out by a concurrent batch
+            # regrowing it (its shutdown refuses new work); retry on the
+            # replacement — the admission slot stays held throughout.
+            while True:
+                pool = self._ensure_serving_pool(max_workers)
+                try:
+                    future = pool.submit(admitted, query)
+                    break
+                except RuntimeError:
+                    continue
+            dispatched.append((query, future, time.perf_counter()))
+        reports: List[AnswerReport] = []
+        for position, (query, future, dispatch_time) in enumerate(dispatched):
+            if future is None:
+                reports.append(timed_out_reports[position])
+                continue
+            if timeout_seconds is None:
+                remaining = None
+            else:
+                remaining = max(
+                    0.0, dispatch_time + timeout_seconds - time.perf_counter()
+                )
+            try:
+                reports.append(future.result(timeout=remaining))
+            except FutureTimeoutError:
+                reports.append(timed_out(query))
+        self.last_batch_stats = {
+            "workers": max_workers,
+            "queries": len(queries),
+            "wall_seconds": time.perf_counter() - started,
+            "admission": admission.stats(),
+        }
+        return reports
+
+    def _ensure_serving_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The shared serving executor, regrown when a batch asks for
+        more workers than any batch before it."""
+        with self._serving_guard:
+            if self._serving_pool is None or workers > self._serving_pool_size:
+                old = self._serving_pool
+                self._serving_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-serving"
+                )
+                self._serving_pool_size = workers
+                if old is not None:
+                    # Let queued work drain on its own threads; new
+                    # batches land on the resized pool.
+                    old.shutdown(wait=False)
+            return self._serving_pool
 
     def _check_saturation_complete(self, choice: ReformulationChoice) -> None:
         """Refuse to *execute* a saturation-backed plan over a truncated
@@ -772,8 +946,9 @@ class OBDASystem:
     def execute_choice(self, query: CQ, choice: ReformulationChoice) -> Set[Tuple]:
         """Evaluate an already-made reformulation choice (bench harness)."""
         self._check_saturation_complete(choice)
-        rows = self.backend.execute(choice.sql)
-        self._check_saturation_complete(choice)  # see answer()
+        with self._barrier.shared():
+            rows = self.backend.execute(choice.sql)
+            self._check_saturation_complete(choice)  # see answer()
         return self._decode(query, rows)
 
     def _decode(self, query: CQ, rows: List[Tuple]) -> Set[Tuple]:
@@ -802,6 +977,11 @@ class OBDASystem:
 
     def close(self) -> None:
         """Release the backend's resources and drop cached plans. Idempotent."""
+        with self._serving_guard:
+            pool, self._serving_pool = self._serving_pool, None
+            self._serving_pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
         self.backend.close()
         self.plan_cache.clear()
         self.reformulation_cache.clear()

@@ -13,9 +13,27 @@ share work across queries:
 * the fragment-level :class:`~repro.cost.cache.ReformulationCache` lives
   in :mod:`repro.cost.cache` (the cost layer owns it because estimators
   are its main consumers), and is shared by the system across strategies
-  and queries.
+  and queries;
+* :mod:`repro.serving.concurrency` — the concurrent-serving primitives
+  behind ``answer_many``'s shared executor: the
+  :class:`~repro.serving.concurrency.ReadWriteBarrier` (writes drain
+  in-flight queries before the backend, statistics and data epoch
+  mutate), :class:`~repro.serving.concurrency.AdmissionController`
+  (bounded in-flight queries per batch) and
+  :class:`~repro.serving.concurrency.QueryTimeoutError` (per-query
+  deadlines).
 """
 
+from repro.serving.concurrency import (
+    AdmissionController,
+    QueryTimeoutError,
+    ReadWriteBarrier,
+)
 from repro.serving.plan_cache import PlanCache
 
-__all__ = ["PlanCache"]
+__all__ = [
+    "AdmissionController",
+    "PlanCache",
+    "QueryTimeoutError",
+    "ReadWriteBarrier",
+]

@@ -1,0 +1,167 @@
+"""Concurrency primitives for the serving layer.
+
+Three small, self-contained pieces used by
+:meth:`repro.obda.system.OBDASystem.answer_many` and the write path:
+
+* :class:`ReadWriteBarrier` — the reader/writer discipline between
+  in-flight queries and the epoch-based write path: queries hold the
+  shared side around their backend read, writes take the exclusive side,
+  which **drains** every in-flight query before the backend, statistics
+  and data epoch mutate (and admits no new query until done). Writer
+  preference keeps a steady query stream from starving writes.
+* :class:`AdmissionController` — a counting gate bounding how many
+  queries are dispatched-but-unfinished (*in-flight*), so a huge batch
+  cannot flood the executor queue; carries telemetry counters.
+* :class:`QueryTimeoutError` — raised (or collected onto the query's
+  report) when one query exceeds the batch's per-query deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class QueryTimeoutError(RuntimeError):
+    """A query missed its per-query deadline in ``answer_many``.
+
+    The worker thread evaluating the query is not killed — Python
+    threads cannot be — so its result is discarded when it eventually
+    arrives; the caller gets this error instead.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"query exceeded its {seconds:g}s deadline")
+        self.seconds = seconds
+
+
+class ReadWriteBarrier:
+    """A writer-preference readers/writer lock.
+
+    Any number of readers share the barrier; a writer is exclusive.
+    A waiting writer blocks *new* readers (preference), then drains the
+    in-flight ones — exactly the "writes take an exclusive barrier that
+    drains in-flight queries" contract the write path needs so a query
+    never observes a half-applied (backend ahead of statistics, epoch
+    behind backend) write.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+        # Sections are stateless; preallocating spares the query hot
+        # path one object construction per backend read.
+        self._shared_section = self._Section(
+            self.acquire_read, self.release_read
+        )
+        self._exclusive_section = self._Section(
+            self.acquire_write, self.release_write
+        )
+
+    # -- reader side ---------------------------------------------------
+    def acquire_read(self) -> None:
+        """Enter the shared section (blocks while a writer is active or
+        waiting)."""
+        with self._condition:
+            while self._active_writer or self._waiting_writers:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Leave the shared section."""
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    # -- writer side ---------------------------------------------------
+    def acquire_write(self) -> None:
+        """Enter the exclusive section: block new readers, drain current
+        ones."""
+        with self._condition:
+            self._waiting_writers += 1
+            try:
+                while self._active_writer or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._active_writer = True
+
+    def release_write(self) -> None:
+        """Leave the exclusive section."""
+        with self._condition:
+            self._active_writer = False
+            self._condition.notify_all()
+
+    # -- context-manager views ----------------------------------------
+    class _Section:
+        def __init__(self, acquire, release) -> None:
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self) -> None:
+            self._acquire()
+
+        def __exit__(self, exc_type, exc_value, traceback) -> None:
+            self._release()
+
+    def shared(self) -> "ReadWriteBarrier._Section":
+        """``with barrier.shared():`` — a query's backend-read section."""
+        return self._shared_section
+
+    def exclusive(self) -> "ReadWriteBarrier._Section":
+        """``with barrier.exclusive():`` — a write's mutation section."""
+        return self._exclusive_section
+
+
+class AdmissionController:
+    """Bounds in-flight queries and counts what it admitted.
+
+    ``max_in_flight`` is the cap on queries dispatched but not yet
+    finished; the coordinator blocks before dispatching beyond it, so
+    executor queues stay short and per-query deadlines stay meaningful.
+    """
+
+    def __init__(self, max_in_flight: int) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.max_in_flight = max_in_flight
+        self._gate = threading.BoundedSemaphore(max_in_flight)
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    def admit(self, timeout: Optional[float] = None) -> bool:
+        """Take a slot, blocking until one frees.
+
+        With a *timeout*, gives up after that many seconds and returns
+        ``False`` (no slot taken) — the escape hatch that keeps a batch
+        with per-query deadlines from hanging at the gate behind hung
+        queries that never release their slots.
+        """
+        if not self._gate.acquire(timeout=timeout):
+            return False
+        with self._lock:
+            self.admitted += 1
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        return True
+
+    def release(self) -> None:
+        """Give the slot back (the query finished or failed)."""
+        with self._lock:
+            self.in_flight -= 1
+        self._gate.release()
+
+    def stats(self) -> Dict[str, int]:
+        """Telemetry snapshot: admitted / in-flight / peak / capacity."""
+        with self._lock:
+            return {
+                "max_in_flight": self.max_in_flight,
+                "admitted": self.admitted,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+            }

@@ -32,14 +32,17 @@ class MemoryBackend(Backend):
         self,
         max_statement_length: int = DB2_STATEMENT_LIMIT,
         cost_parameters: CostParameters = DEFAULT_COSTS,
+        workers: Optional[int] = None,
     ) -> None:
         self.db = MiniRDBMS(
             max_statement_length=max_statement_length,
             cost_parameters=cost_parameters,
+            workers=workers,
         )
         self._lock = threading.RLock()
 
     def load(self, data: LayoutData) -> None:
+        """Create tables and indexes, bulk-load rows, collect statistics."""
         with self._lock:
             for spec in data.tables:
                 self.db.create_table(spec.name, spec.columns)
@@ -49,16 +52,17 @@ class MemoryBackend(Backend):
             self.db.analyze()
 
     def insert_rows(self, table: str, rows: List[Row]) -> None:
-        # Fold the write's delta into the statistics instead of paying a
-        # full per-batch re-analyze (mirrors SQLiteBackend shadow stats;
-        # statistics are optimizer hints, so approximate distinct counts
-        # never affect answers).
+        """Insert encoded rows (set semantics) and fold the delta into
+        the statistics instead of paying a full per-batch re-analyze
+        (mirrors SQLiteBackend shadow stats; statistics are optimizer
+        hints, so approximate distinct counts never affect answers)."""
         with self._lock:
             added = self.db.insert_many(table, rows)
             if added:
                 self.db.catalog.adjust_statistics(table, inserted=added)
 
     def delete_rows(self, table: str, rows: List[Row]) -> int:
+        """Delete encoded rows; returns how many were present."""
         with self._lock:
             removed = self.db.delete_many(table, rows)
             if removed:
@@ -66,14 +70,18 @@ class MemoryBackend(Backend):
             return removed
 
     def apply_changes(self, inserts, deletes) -> None:
-        with self._lock:  # one critical section for the whole write
+        """Apply a multi-table write in one critical section, so a
+        concurrent read sees all of it or none of it."""
+        with self._lock:
             super().apply_changes(inserts, deletes)
 
     def execute(self, sql: str) -> List[Row]:
+        """Evaluate *sql* on the embedded engine; returns result rows."""
         with self._lock:
             return self.db.execute(sql)
 
     def estimated_cost(self, sql: str) -> float:
+        """The engine's own EXPLAIN cost estimate for *sql*."""
         with self._lock:
             return self.db.estimated_cost(sql)
 
@@ -86,3 +94,7 @@ class MemoryBackend(Backend):
     def last_execution(self):
         """Counters from the most recent execute (benchmark telemetry)."""
         return self.db.last_execution
+
+    def close(self) -> None:
+        """Release the engine's worker pool (idempotent)."""
+        self.db.close()

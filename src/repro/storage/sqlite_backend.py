@@ -71,6 +71,8 @@ class SQLiteBackend(Backend):
 
     # ------------------------------------------------------------------
     def load(self, data: LayoutData) -> None:
+        """Create tables/indexes, bulk-load rows, ANALYZE, and mirror
+        the schema + statistics into the shadow planner catalog."""
         with self._connection_lock:
             self._load_locked(data)
 
@@ -111,6 +113,7 @@ class SQLiteBackend(Backend):
 
     # ------------------------------------------------------------------
     def insert_rows(self, table: str, rows: List[Row]) -> None:
+        """INSERT OR IGNORE encoded rows and refresh shadow statistics."""
         if not rows:
             return
         with self._connection_lock:
@@ -118,6 +121,7 @@ class SQLiteBackend(Backend):
             self._connection.commit()
 
     def delete_rows(self, table: str, rows: List[Row]) -> int:
+        """Delete encoded rows; returns how many were removed."""
         if not rows:
             return 0
         with self._connection_lock:
@@ -187,12 +191,15 @@ class SQLiteBackend(Backend):
 
     # ------------------------------------------------------------------
     def execute(self, sql: str) -> List[Row]:
+        """Evaluate *sql* on the SQLite connection; returns result rows."""
         self._check_length(sql)
         with self._connection_lock:
             cursor = self._cursor()
             return [tuple(row) for row in cursor.execute(sql).fetchall()]
 
     def estimated_cost(self, sql: str) -> float:
+        """Cost estimate for *sql* from the shadow MiniRDBMS planner
+        (SQLite's EXPLAIN QUERY PLAN exposes no numeric cost)."""
         self._check_length(sql)
         return self._shadow.estimated_cost(sql)
 

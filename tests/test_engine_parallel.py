@@ -1,0 +1,292 @@
+"""Morsel-driven parallel execution semantics.
+
+The contract under test: for any plan, executing at any worker count
+returns exactly the serial result — the same multiset (same rows, any
+partition-induced order) for duplicate-preserving plans and the same set
+for deduplicating ones. Plus the machinery around it: shared hash-build
+barriers, interior dedup breakers, per-worker stats, EXPLAIN's degree of
+parallelism, and the cost model's parallelism discount.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import MiniRDBMS, ParallelContext
+from repro.engine.operators import CostParameters
+from repro.engine.parallel import slice_bounds
+
+
+def _populate(db: MiniRDBMS, seed: int = 7) -> None:
+    rng = random.Random(seed)
+    student = db.create_table("c_phdstudent", ["s"])
+    student.insert_many([(i,) for i in range(1, 40)])
+    works = db.create_table("r_workswith", ["s", "o"])
+    works.insert_many(
+        [(rng.randrange(1, 60), rng.randrange(1, 60)) for _ in range(200)]
+    )
+    wide = db.create_table("t3", ["a", "b", "c"])  # >2 cols: no auto index
+    wide.insert_many([(i % 5, i % 7, i % 3) for i in range(120)])
+    db.analyze()
+
+
+def _db(workers: int, batch_size: int = 16) -> MiniRDBMS:
+    # morsel_size=1: even this test's tiny tables split into real
+    # morsels, so the partitioned paths (not the serial fallback for
+    # sub-morsel pipelines) are what's under test.
+    db = MiniRDBMS(
+        cost_parameters=CostParameters(batch_size=batch_size),
+        parallel_context=ParallelContext(workers, morsel_size=1),
+    )
+    _populate(db)
+    return db
+
+
+#: Query shapes covering every operator's partitioned path: scans
+#: (filtered and not), index scans, filters, hash joins (generic and
+#: index-probe), cross joins, dedup at the root, dedup *interior* to a
+#: duplicate-preserving parent, unions (both kinds), CTEs and shared
+#: scans.
+QUERIES = [
+    "SELECT s FROM c_phdstudent",
+    "SELECT o FROM r_workswith WHERE s = 2",
+    "SELECT s FROM r_workswith WHERE s = o",
+    "SELECT s FROM c_phdstudent WHERE s <> 3",
+    "SELECT DISTINCT c FROM t3",
+    "SELECT s FROM c_phdstudent UNION SELECT o FROM r_workswith",
+    "SELECT s FROM c_phdstudent UNION ALL SELECT s FROM c_phdstudent",
+    "SELECT p.s, w.o FROM c_phdstudent p, r_workswith w WHERE p.s = w.s",
+    "SELECT DISTINCT p.s FROM c_phdstudent p, r_workswith w WHERE p.s = w.o",
+    "WITH x AS (SELECT DISTINCT s FROM r_workswith) "
+    "SELECT p.s FROM c_phdstudent p, x WHERE p.s = x.s",
+    # Interior dedup: the DISTINCT subquery feeds a duplicate-preserving
+    # join, so local per-worker dedup alone would be wrong.
+    "SELECT q.a, w.o FROM (SELECT DISTINCT a, b FROM t3) q, r_workswith w "
+    "WHERE q.a = w.s",
+    "SELECT a FROM t3 WHERE a = 1 UNION SELECT b FROM t3 WHERE b = 2",
+    "SELECT p.s, t.c FROM c_phdstudent p, t3 t WHERE t.a = 1",
+    "SELECT w.s FROM r_workswith w WHERE w.o = 4 "
+    "UNION SELECT w.s FROM r_workswith w WHERE w.o = 4 "
+    "UNION SELECT w.o FROM r_workswith w WHERE w.s = 4",
+]
+
+#: Queries whose results are sets (a dedup sits at the *root*); all
+#: others — including the interior-DISTINCT join, whose output
+#: legitimately repeats rows — must match as exact multisets.
+SET_SEMANTIC = {
+    QUERIES[4],   # SELECT DISTINCT
+    QUERIES[5],   # UNION
+    QUERIES[8],   # SELECT DISTINCT over a join
+    QUERIES[11],  # UNION of filtered scans
+    QUERIES[13],  # three-arm UNION with a repeated arm
+}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [2, 8])
+    @pytest.mark.parametrize("batch_size", [1, 16, 1024])
+    def test_matches_serial_at_any_worker_count(self, workers, batch_size):
+        serial = _db(1, batch_size)
+        parallel = _db(workers, batch_size)
+        for query in QUERIES:
+            expected = serial.execute(query)
+            got = parallel.execute(query)
+            if query in SET_SEMANTIC:
+                assert set(got) == set(expected), query
+                assert len(got) == len(set(got)), query  # still deduped
+            else:
+                assert sorted(got) == sorted(expected), query
+        parallel.close()
+        serial.close()
+
+    def test_random_differential_against_serial(self):
+        rng = random.Random(42)
+        serial = _db(1)
+        parallel = _db(4)
+        tables = {
+            "c_phdstudent": ["s"],
+            "r_workswith": ["s", "o"],
+            "t3": ["a", "b", "c"],
+        }
+        for _ in range(40):
+            name, columns = rng.choice(list(tables.items()))
+            column = rng.choice(columns)
+            other = rng.choice(columns)
+            value = rng.randrange(0, 8)
+            shape = rng.randrange(3)
+            if shape == 0:
+                sql = f"SELECT {column} FROM {name} WHERE {other} = {value}"
+                comparable = sorted
+            elif shape == 1:
+                sql = (
+                    f"SELECT DISTINCT {column} FROM {name} "
+                    f"UNION SELECT {other} FROM {name}"
+                )
+                comparable = set
+            else:
+                sql = (
+                    f"SELECT x.{column} FROM {name} x, {name} y "
+                    f"WHERE x.{column} = y.{other}"
+                )
+                comparable = sorted
+            assert comparable(parallel.execute(sql)) == comparable(
+                serial.execute(sql)
+            ), sql
+        parallel.close()
+        serial.close()
+
+
+class TestParallelMachinery:
+    def test_slice_bounds_partition_everything_exactly_once(self):
+        for count in (0, 1, 5, 17, 1024):
+            for parts in (1, 2, 3, 8, 40):
+                covered = []
+                for part in range(parts):
+                    lo, hi = slice_bounds(count, part, parts)
+                    covered.extend(range(lo, hi))
+                assert covered == list(range(count)), (count, parts)
+
+    def test_stats_report_workers_and_morsels(self):
+        db = _db(4)
+        db.execute("SELECT s FROM c_phdstudent")
+        stats = db.last_execution
+        assert stats.workers == 4
+        assert stats.morsels == db.parallel.partitions_for(
+            db.plan("SELECT s FROM c_phdstudent").body.cost
+        )
+        assert stats.morsels > 1
+        assert stats.per_worker, "per-worker counters must be populated"
+        assert sum(w["rows"] for w in stats.per_worker) == stats.rows
+        db.close()
+
+    def test_sub_morsel_pipelines_stay_serial(self):
+        db = MiniRDBMS(
+            cost_parameters=CostParameters(batch_size=16),
+            # Pinned (not env-derived) default morsel size.
+            parallel_context=ParallelContext(4, morsel_size=4096),
+        )
+        _populate(db)
+        db.execute("SELECT s FROM c_phdstudent")  # ~39 cost units
+        stats = db.last_execution
+        assert stats.workers == 4  # the parallel engine ran it...
+        assert stats.morsels == 0  # ...but the tiny pipeline stayed serial
+        db.close()
+
+    def test_partitions_for_scales_with_work(self):
+        context = ParallelContext(4, morsels_per_worker=4, morsel_size=1000)
+        assert context.partitions_for(10) == 1
+        assert context.partitions_for(2500) == 3
+        assert context.partitions_for(10**9) == context.partitions() == 16
+
+    def test_morsel_gate_sees_undiscounted_work(self):
+        """Raising the worker count must not shrink the work estimate
+        the gate sizes morsels by (costs are parallel-discounted; the
+        gate multiplies the discount back)."""
+        few = MiniRDBMS(workers=2)
+        many = MiniRDBMS(workers=8)
+        assert many.parallel.cost_discount == pytest.approx(
+            many.cost_parameters.parallel_speedup()
+        )
+        sql = "SELECT a FROM big"
+        for db in (few, many):
+            table = db.create_table("big", ["a"])
+            table.insert_many([(i,) for i in range(3000)])
+            db.analyze()
+        discounted = many.plan(sql).body.cost
+        # The discounted cost alone (scan + projection over 3000 rows,
+        # divided by the 8-worker speedup) would under-partition:
+        assert discounted < 3000 < discounted * many.parallel.cost_discount
+        gate_2w = few.parallel.partitions_for(few.plan(sql).body.cost)
+        gate_8w = many.parallel.partitions_for(discounted)
+        # Same table, same actual work: more workers must never see
+        # fewer morsels than fewer workers (capped by partitions()).
+        assert gate_8w >= gate_2w
+        few.close()
+        many.close()
+
+    def test_learning_zero_efficiency_keeps_gate_consistent(self):
+        db = MiniRDBMS(workers=4)
+        db.learn_parallel_efficiency(1.0)  # honest GIL observation
+        assert db.parallel.cost_discount == 1.0
+
+    def test_serial_stats_unchanged(self):
+        db = _db(1)
+        db.execute("SELECT s FROM c_phdstudent")
+        stats = db.last_execution
+        assert stats.workers == 1
+        assert stats.morsels == 0
+        assert stats.per_worker == []
+
+    def test_explain_reports_degree_of_parallelism(self):
+        db = _db(4)
+        explained = db.explain("SELECT s FROM c_phdstudent")
+        assert explained.workers == 4
+        assert "Degree of parallelism: 4" in explained.text
+        serial = _db(1)
+        assert serial.explain("SELECT s FROM c_phdstudent").workers == 1
+        assert "Degree of parallelism" not in serial.explain(
+            "SELECT s FROM c_phdstudent"
+        ).text
+        db.close()
+
+    def test_env_default_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ParallelContext().workers == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert ParallelContext().workers == 1
+
+    def test_close_is_idempotent_and_engine_survives(self):
+        db = _db(2)
+        assert len(db.execute("SELECT s FROM c_phdstudent")) == 39
+        db.close()
+        db.close()
+        # A closed pool is rebuilt lazily on the next execution.
+        assert len(db.execute("SELECT s FROM c_phdstudent")) == 39
+
+
+class TestCostDiscount:
+    def test_serial_costs_untouched(self):
+        params = CostParameters()
+        assert params.parallel_speedup() == 1.0
+
+    def test_parallel_discount_lowers_costs(self):
+        serial = _db(1)
+        parallel = _db(4)
+        sql = "SELECT p.s, w.o FROM c_phdstudent p, r_workswith w WHERE p.s = w.s"
+        assert parallel.estimated_cost(sql) < serial.estimated_cost(sql)
+
+    def test_discount_is_sublinear(self):
+        params = CostParameters(workers=4, parallel_efficiency=0.7)
+        assert 1.0 < params.parallel_speedup() < 4.0
+
+    def test_learn_efficiency_from_observation(self):
+        db = _db(4)
+        sql = "SELECT s FROM c_phdstudent"
+        optimistic = db.estimated_cost(sql)
+        # Observed no speedup at all (the honest GIL outcome): the
+        # discount must collapse and costs return to serial levels.
+        efficiency = db.learn_parallel_efficiency(observed_speedup=1.0)
+        assert efficiency == 0.0
+        assert db.estimated_cost(sql) > optimistic
+        assert db.cost_parameters.parallel_speedup() == 1.0
+        # A measured 2x at 4 workers back-solves to 1/3 efficiency.
+        assert db.learn_parallel_efficiency(2.0) == pytest.approx(1 / 3)
+
+    def test_external_model_learns_parallelism(self):
+        from repro.cost.model import ExternalCostModel
+        from repro.cost.statistics import DataStatistics
+        from repro.dllite.abox import ABox
+
+        abox = ABox()
+        for i in range(10):
+            abox.add_role("worksWith", f"a{i}", f"b{i % 3}")
+        model = ExternalCostModel(DataStatistics.from_abox(abox))
+        from repro.dllite.parser import parse_query
+
+        query = parse_query("q(x) <- worksWith(x, y)")
+        serial_cost = model.estimate(query)
+        model.learn_parallelism(4, observed_speedup=2.0)
+        assert model.parameters.workers == 4
+        assert model.estimate(query) < serial_cost
+        model.learn_parallelism(4, observed_speedup=1.0)
+        assert model.estimate(query) == pytest.approx(serial_cost)
