@@ -36,6 +36,28 @@ class TableStats:
             return max(1, self.cardinality)
         return max(1, stats.distinct_values)
 
+    @classmethod
+    def merged(cls, parts: Sequence["TableStats"]) -> "TableStats":
+        """Aggregate per-shard statistics into whole-table statistics.
+
+        Used by sharded storage: each shard holds a disjoint row slice,
+        so cardinalities add exactly; per-column distinct counts are
+        summed then clamped to the cardinality (a hash-partitioned value
+        lives on one shard when it is the shard key, but may repeat
+        across shards in other columns — the sum is an upper bound,
+        which is what selectivity estimation wants from a hint).
+        """
+        merged = cls(cardinality=sum(part.cardinality for part in parts))
+        columns: Dict[str, int] = {}
+        for part in parts:
+            for name, stats in part.columns.items():
+                columns[name] = columns.get(name, 0) + stats.distinct_values
+        for name, distinct in columns.items():
+            merged.columns[name] = ColumnStats(
+                distinct_values=min(merged.cardinality, distinct)
+            )
+        return merged
+
 
 class Catalog:
     """Tables by name, with on-demand statistics.

@@ -57,6 +57,7 @@ from repro.engine.sqlparser import (
     SelectCore,
     SelectUnion,
     Statement,
+    SubquerySource,
     TableSource,
 )
 
@@ -764,3 +765,287 @@ class Planner:
                         label: i for i, label in enumerate(composite.columns)
                     }
         return composite
+
+
+# ---------------------------------------------------------------------------
+# Shard-route analysis (partition pruning for hash-sharded storage)
+# ---------------------------------------------------------------------------
+#
+# :class:`repro.storage.sharded_backend.ShardedBackend` hash-partitions
+# every table by its *shard key* (the home-key column, the first column
+# of the predicate layouts). Before executing a statement it asks this
+# analysis where the statement's answers can possibly live:
+#
+# * **pruned** — every arm's sources are joined on their shard keys and
+#   that equivalence class is bound to a constant, so only the shards of
+#   those constants can contribute;
+# * **scatter** — arms are shard-key co-partitioned but unbound: every
+#   shard evaluates the whole statement locally and the results merge
+#   (set-union at deduplicating roots, concatenation otherwise);
+# * **gather** — some join is *not* on the shard key (matching rows may
+#   live on different shards), so shard-local evaluation would miss
+#   answers: the referenced tables are gathered to a coordinator first.
+#
+# The soundness argument for scatter: when every source of an arm is
+# anchored in one equality class together with its shard key, all rows
+# contributing to one answer carry the same shard-key value and hence
+# live on the same shard, so the per-shard evaluations partition the
+# global answer. A CTE or subquery source counts as anchored only via an
+# *aligned* output column — one equal to its own arms' shard keys — so a
+# derived row's column value pins the unique shard that can produce it.
+
+
+@dataclass(frozen=True)
+class ShardRoute:
+    """Where a statement must run on hash-sharded storage."""
+
+    #: ``"pruned"`` | ``"scatter"`` | ``"gather"``.
+    kind: str
+    #: Target shard ids (sorted). Empty means "all shards" for gather.
+    shards: Tuple[int, ...]
+    #: Base tables the statement references (sorted lowercase names).
+    tables: Tuple[str, ...]
+    #: Whether the statement's root deduplicates (DISTINCT / UNION), and
+    #: therefore whether a multi-shard merge needs a global dedup.
+    dedup_root: bool
+
+
+@dataclass(frozen=True)
+class _ShardUnionInfo:
+    """What a SELECT-union exposes to an enclosing shard analysis."""
+
+    safe: bool
+    out_columns: Tuple[Optional[str], ...]
+    #: Output positions whose value equals the arms' shard keys.
+    aligned: Tuple[int, ...]
+    #: One shard-key-binding literal per arm, or ``None`` when some arm
+    #: is unbound (the union needs every shard).
+    constants: Optional[Tuple[object, ...]]
+
+
+_UNSAFE = _ShardUnionInfo(False, (), (), None)
+
+
+class _UnionFind:
+    """A tiny union-find over hashable nodes."""
+
+    def __init__(self) -> None:
+        self.parent: Dict[object, object] = {}
+
+    def find(self, node: object) -> object:
+        parents = self.parent
+        parents.setdefault(node, node)
+        while parents[node] != node:
+            # Path halving: point at the grandparent, then step there.
+            grandparent = parents.setdefault(parents[node], parents[node])
+            parents[node] = grandparent
+            node = grandparent
+        return node
+
+    def union(self, a: object, b: object) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+def _shard_resolve(expr, alias_columns, aliases):
+    """Map an expression to a union-find node, or ``None`` if ambiguous.
+
+    Unqualified columns resolve against the single source, or the single
+    source whose output columns contain the name.
+    """
+    if isinstance(expr, Literal):
+        return ("const", expr.value)
+    if not isinstance(expr, ColumnRef):  # pragma: no cover - grammar-total
+        return None
+    if expr.table is not None:
+        if expr.table not in alias_columns:
+            return None
+        return ("col", expr.table, expr.column)
+    candidates = [
+        alias
+        for alias in aliases
+        if alias_columns[alias] is not None and expr.column in alias_columns[alias]
+    ]
+    if len(candidates) == 1:
+        return ("col", candidates[0], expr.column)
+    if not candidates and len(aliases) == 1:
+        return ("col", aliases[0], expr.column)
+    return None
+
+
+def _collect_shard_tables(
+    union: SelectUnion, cte_names, tables_seen
+) -> None:
+    """Collect every base table a SELECT-union references, recursing into
+    derived subqueries. Runs unconditionally *before* the safety
+    analysis: the gather route materializes exactly these tables on the
+    coordinator, so the list must be complete even when the analysis
+    bails out early on an unsafe source."""
+    for core in union.selects:
+        for source in core.sources:
+            if isinstance(source, TableSource):
+                if source.name not in cte_names:
+                    tables_seen.add(source.name.lower())
+            else:
+                _collect_shard_tables(source.statement, cte_names, tables_seen)
+
+
+def _analyze_shard_core(core: SelectCore, env, table_keys) -> _ShardUnionInfo:
+    """Analyze one SELECT block; see :func:`analyze_shard_route`."""
+    aliases: List[str] = []
+    alias_columns: Dict[str, Optional[Tuple[str, ...]]] = {}
+    key_nodes: Dict[str, Tuple] = {}
+    for source in core.sources:
+        if isinstance(source, TableSource):
+            info = env.get(source.name)
+            if info is None:
+                entry = table_keys.get(source.name.lower())
+                if entry is None:
+                    return _UNSAFE
+                columns, key_column = entry
+                keys = (("col", source.alias, key_column),)
+            else:
+                if not info.safe:
+                    return _UNSAFE
+                columns = info.out_columns
+                keys = tuple(
+                    ("col", source.alias, columns[p])
+                    for p in info.aligned
+                    if columns[p] is not None
+                )
+        else:
+            assert isinstance(source, SubquerySource)
+            info = _analyze_shard_union(source.statement, env, table_keys)
+            if not info.safe:
+                return _UNSAFE
+            columns = info.out_columns
+            keys = tuple(
+                ("col", source.alias, columns[p])
+                for p in info.aligned
+                if columns[p] is not None
+            )
+        if source.alias in alias_columns:
+            return _UNSAFE  # duplicate alias: resolution would be ambiguous
+        aliases.append(source.alias)
+        alias_columns[source.alias] = tuple(c for c in columns) if columns else ()
+        key_nodes[source.alias] = keys
+
+    uf = _UnionFind()
+    nodes: List[object] = []
+    for alias, keys in key_nodes.items():
+        for node in keys:
+            uf.find(node)
+            nodes.append(node)
+    for condition in core.conditions:
+        if condition.op != "=":
+            continue
+        left = _shard_resolve(condition.left, alias_columns, aliases)
+        right = _shard_resolve(condition.right, alias_columns, aliases)
+        if left is None or right is None:
+            return _UNSAFE
+        uf.union(left, right)
+        nodes.extend((left, right))
+
+    # Classes in which *every* source is anchored through a key node.
+    candidates: Optional[Set[object]] = None
+    for alias in aliases:
+        keys = key_nodes[alias]
+        if not keys:
+            return _UNSAFE
+        roots = {uf.find(node) for node in keys}
+        candidates = roots if candidates is None else candidates & roots
+        if not candidates:
+            return _UNSAFE
+
+    constant: Optional[Tuple[object, ...]] = None
+    for node in nodes:
+        if node[0] == "const" and uf.find(node) in candidates:
+            constant = (node[1],)
+            break
+
+    aligned: List[int] = []
+    out_columns: List[Optional[str]] = []
+    for position, (expr, alias) in enumerate(core.projections):
+        if alias is not None:
+            out_columns.append(alias)
+        elif isinstance(expr, ColumnRef):
+            out_columns.append(expr.column)
+        else:
+            out_columns.append(None)
+        node = _shard_resolve(expr, alias_columns, aliases)
+        if node is not None and uf.find(node) in candidates:
+            aligned.append(position)
+    return _ShardUnionInfo(
+        True, tuple(out_columns), tuple(aligned), constant
+    )
+
+
+def _analyze_shard_union(
+    union: SelectUnion, env, table_keys
+) -> _ShardUnionInfo:
+    """Combine the arms of one SELECT-union; see :func:`analyze_shard_route`."""
+    infos = [
+        _analyze_shard_core(core, env, table_keys) for core in union.selects
+    ]
+    if not all(info.safe for info in infos):
+        return _UNSAFE
+    if len(infos) > 1 and union.all:
+        # UNION ALL keeps duplicates, but an arm's own DISTINCT dedups
+        # only within a shard: the arm must expose a shard-aligned
+        # column, or the same row could surface from several shards.
+        for core, info in zip(union.selects, infos):
+            if core.distinct and not info.aligned:
+                return _UNSAFE
+    aligned = set(infos[0].aligned)
+    for info in infos[1:]:
+        aligned &= set(info.aligned)
+    constants: Optional[Tuple[object, ...]] = ()
+    for info in infos:
+        if info.constants is None:
+            constants = None
+            break
+        constants = constants + info.constants
+    return _ShardUnionInfo(
+        True, infos[0].out_columns, tuple(sorted(aligned)), constants
+    )
+
+
+def analyze_shard_route(
+    statement: Statement,
+    table_keys: Dict[str, Tuple[Tuple[str, ...], str]],
+    shard_count: int,
+    shard_of,
+) -> ShardRoute:
+    """Decide how *statement* must execute over hash-sharded tables.
+
+    ``table_keys`` maps lowercase table names to ``(columns, shard key
+    column)``; ``shard_of(value)`` maps a shard-key value to its shard
+    id. Statements referencing unknown tables, or whose joins cannot be
+    proven shard-key co-partitioned, fall back to ``"gather"`` — the
+    analysis is conservative: it may gather more than strictly needed
+    but never scatters a statement whose answers span shards.
+    """
+    env: Dict[str, _ShardUnionInfo] = {}
+    tables_seen: Set[str] = set()
+    cte_names = {name for name, _ in statement.ctes}
+    for _name, cte_union in statement.ctes:
+        _collect_shard_tables(cte_union, cte_names, tables_seen)
+    _collect_shard_tables(statement.body, cte_names, tables_seen)
+    safe = True
+    for name, cte_union in statement.ctes:
+        info = _analyze_shard_union(cte_union, env, table_keys)
+        env[name] = info
+        safe = safe and info.safe
+    body = _analyze_shard_union(statement.body, env, table_keys)
+    safe = safe and body.safe
+
+    if len(statement.body.selects) > 1:
+        dedup_root = not statement.body.all
+    else:
+        dedup_root = statement.body.selects[0].distinct
+    tables = tuple(sorted(tables_seen))
+    if not safe:
+        return ShardRoute("gather", (), tables, dedup_root)
+    if body.constants is not None:
+        shards = tuple(sorted({shard_of(value) for value in body.constants}))
+        return ShardRoute("pruned", shards, tables, dedup_root)
+    return ShardRoute("scatter", tuple(range(shard_count)), tables, dedup_root)

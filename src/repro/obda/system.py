@@ -44,6 +44,7 @@ and never costs a full-cache flush.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -78,6 +79,7 @@ from repro.dllite.kb import InconsistentKBError, KnowledgeBase
 from repro.dllite.parser import parse_abox, parse_query, parse_tbox
 from repro.dllite.saturation import ChaseTruncatedError, is_null
 from repro.dllite.tbox import TBox
+from repro.engine.database import DB2_STATEMENT_LIMIT
 from repro.materialize.router import RoutingDecision, SaturationRouter, pick
 from repro.materialize.saturator import Fact, Saturator, fact_of as _fact_of
 from repro.optimizer.edl import edl_search
@@ -95,10 +97,28 @@ from repro.serving.plan_cache import PlanCache
 from repro.sql.translator import SQLTranslator
 from repro.storage.layouts import LayoutData, RDFLayout, SimpleLayout, TableSpec
 from repro.storage.memory_backend import MemoryBackend
+from repro.storage.sharded_backend import ShardedBackend
 from repro.storage.sqlite_backend import SQLiteBackend
 
 STRATEGIES = ("ucq", "croot", "gdl", "edl", "sat", "auto")
 COST_MODES = ("ext", "rdbms")
+
+#: Environment knob: default shard count for systems constructed with a
+#: *named* backend and no explicit ``shards`` argument. Values below 2
+#: keep the plain single backend (the structurally unchanged serial
+#: path), mirroring ``REPRO_WORKERS=1``.
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+def _env_shards() -> Optional[int]:
+    raw = os.environ.get(SHARDS_ENV)
+    if raw is None:
+        return None
+    try:
+        count = int(raw)
+    except ValueError:
+        return None
+    return count if count >= 2 else None
 
 #: Strategies whose chosen reformulation does not depend on data
 #: statistics; their cached plans survive writes (epoch stamp ``None``).
@@ -122,6 +142,11 @@ class ReformulationChoice:
     plan_cache_hit: bool = False
     #: For ``strategy="auto"``: the costs compared and the winner.
     routing: Optional[RoutingDecision] = None
+    #: On a sharded backend: the precomputed shard route (pruned /
+    #: scatter / gather) the execution should take, derived from the
+    #: logical reformulation at plan time so cached plans skip the
+    #: SQL-level route analysis. ``None`` lets the backend analyze.
+    shard_route: Optional[object] = None
 
 
 @dataclass
@@ -172,6 +197,15 @@ class OBDASystem:
     ``serving_workers`` the default ``answer_many`` thread count,
     ``max_in_flight`` / ``query_timeout_seconds`` the admission bound
     and per-query deadline every batch inherits.
+
+    Storage scaling: ``shards=N`` (or ``REPRO_SHARDS>=2`` in the
+    environment) hash-partitions every table across N child backends of
+    the named kind behind a :class:`~repro.storage.sharded_backend.
+    ShardedBackend` — shard-key-bound queries prune to a single shard,
+    co-partitioned queries scatter-gather, and everything else falls
+    back to a gathered coordinator; answers are identical to the
+    unsharded system at any shard count. ``shard_workers`` bounds the
+    scatter fan-out pool.
     """
 
     def __init__(
@@ -189,6 +223,8 @@ class OBDASystem:
         serving_workers: Optional[int] = None,
         max_in_flight: Optional[int] = None,
         query_timeout_seconds: Optional[float] = None,
+        shards: Optional[int] = None,
+        shard_workers: Optional[int] = None,
     ) -> None:
         self.kb = KnowledgeBase(tbox, abox)
         #: When True, every insert_facts re-validates the disjointness
@@ -209,13 +245,35 @@ class OBDASystem:
             self.layout = layout
 
         if isinstance(backend, str):
+            if shards is None:
+                shards = _env_shards()
             if backend == "memory":
-                self.backend = MemoryBackend(workers=engine_workers)
+                if shards:
+                    self.backend = ShardedBackend(
+                        shards,
+                        child_factory=lambda: MemoryBackend(
+                            workers=engine_workers
+                        ),
+                        workers=shard_workers,
+                        max_statement_length=DB2_STATEMENT_LIMIT,
+                    )
+                else:
+                    self.backend = MemoryBackend(workers=engine_workers)
             elif backend == "sqlite":
-                self.backend = SQLiteBackend()
+                if shards:
+                    self.backend = ShardedBackend(
+                        shards, child="sqlite", workers=shard_workers
+                    )
+                else:
+                    self.backend = SQLiteBackend()
             else:
                 raise ValueError(f"unknown backend {backend!r}")
         else:
+            if shards is not None:
+                raise ValueError(
+                    "shards= requires a named backend ('memory'/'sqlite'); "
+                    "construct a ShardedBackend yourself for custom children"
+                )
             self.backend = backend
 
         data = self.layout.build(abox, tbox)
@@ -687,6 +745,15 @@ class OBDASystem:
             )
 
         sql = self.translator.translate(reformulation)
+        shard_route = None
+        if isinstance(self.backend, ShardedBackend):
+            # Logical hint: routes plan-cached statements without ever
+            # re-parsing the (possibly megabyte-scale) SQL. Dialects the
+            # hint does not cover leave None and the backend analyzes
+            # the statement itself on first execution.
+            shard_route = self.backend.route_from_hint(
+                self.translator.shard_hint(reformulation)
+            )
         elapsed = time.perf_counter() - started
         return ReformulationChoice(
             strategy=strategy,
@@ -695,6 +762,7 @@ class OBDASystem:
             search=search,
             reformulation_seconds=elapsed,
             routing=routing,
+            shard_route=shard_route,
         )
 
     # ------------------------------------------------------------------
@@ -726,7 +794,7 @@ class OBDASystem:
         # mutating anything, so the rows and the saturation state the
         # re-check sees belong to one consistent epoch.
         with self._barrier.shared():
-            rows = self.backend.execute(choice.sql)
+            rows = self._execute_sql(choice)
             # Re-checked *after* execution: a write may have truncated
             # the saturation between the first check and the table read,
             # and the rows would then under-approximate. (A write
@@ -847,6 +915,8 @@ class OBDASystem:
         if max_in_flight is None:
             max_in_flight = self.max_in_flight or 2 * max_workers
         admission = AdmissionController(max_in_flight)
+        telemetry = getattr(self.backend, "shard_telemetry", None)
+        shards_before = telemetry() if telemetry is not None else None
 
         def admitted(query: Union[str, CQ]) -> AnswerReport:
             try:
@@ -906,6 +976,17 @@ class OBDASystem:
             "wall_seconds": time.perf_counter() - started,
             "admission": admission.stats(),
         }
+        if shards_before is not None:
+            # Route counters this batch moved (approximate under racing
+            # batches — counters are system-global).
+            shards_after = telemetry()
+            self.last_batch_stats["shards"] = {
+                "shards": shards_after["shards"],
+                **{
+                    key: shards_after[key] - shards_before[key]
+                    for key in ("executions", "pruned", "scatter", "gather")
+                },
+            }
         return reports
 
     def _ensure_serving_pool(self, workers: int) -> ThreadPoolExecutor:
@@ -947,9 +1028,18 @@ class OBDASystem:
         """Evaluate an already-made reformulation choice (bench harness)."""
         self._check_saturation_complete(choice)
         with self._barrier.shared():
-            rows = self.backend.execute(choice.sql)
+            rows = self._execute_sql(choice)
             self._check_saturation_complete(choice)  # see answer()
         return self._decode(query, rows)
+
+    def _execute_sql(self, choice: ReformulationChoice) -> List[Tuple]:
+        """Run a choice's SQL, passing the plan-time shard route through
+        to a sharded backend (other backends take the plain path)."""
+        if choice.shard_route is not None and isinstance(
+            self.backend, ShardedBackend
+        ):
+            return self.backend.execute(choice.sql, route=choice.shard_route)
+        return self.backend.execute(choice.sql)
 
     def _decode(self, query: CQ, rows: List[Tuple]) -> Set[Tuple]:
         if not query.head:

@@ -14,7 +14,10 @@ layouts. Here:
   Postgres role);
 * :mod:`memory_backend` — the from-scratch :class:`repro.engine.MiniRDBMS`
   as the commercial system with an accessible cost estimator (the paper's
-  DB2 role).
+  DB2 role);
+* :mod:`sharded_backend` — N hash-partitioned children of either kind
+  behind the one-backend API, with partition-pruned routing and
+  scatter-gather execution.
 """
 
 from repro.storage.dictionary import Dictionary
@@ -27,6 +30,7 @@ from repro.storage.layouts import (
 from repro.storage.base import Backend
 from repro.storage.sqlite_backend import SQLiteBackend
 from repro.storage.memory_backend import MemoryBackend
+from repro.storage.sharded_backend import ShardedBackend
 
 __all__ = [
     "Backend",
@@ -34,6 +38,7 @@ __all__ = [
     "LayoutData",
     "MemoryBackend",
     "RDFLayout",
+    "ShardedBackend",
     "SQLiteBackend",
     "SimpleLayout",
     "TableSpec",

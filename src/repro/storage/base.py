@@ -61,6 +61,16 @@ class Backend(ABC):
         for table, rows in deletes.items():
             self.delete_rows(table, rows)
 
+    def table_statistics(self, table: str):
+        """Optimizer statistics for one loaded table, or ``None``.
+
+        Returns a :class:`repro.engine.catalog.TableStats` where the
+        backend keeps one (both built-ins do). Sharded storage merges
+        these per-shard statistics into whole-table statistics for its
+        coordinator planner; ``None`` simply opts a backend out.
+        """
+        return None
+
     def close(self) -> None:
         """Release any resources held by the backend.
 

@@ -48,6 +48,9 @@ class TableSpec:
     columns: Tuple[str, ...]
     rows: List[Tuple]
     indexes: Tuple[Tuple[str, ...], ...] = ()
+    #: The home-key column hash-sharded storage partitions this table by
+    #: (``None`` means the first column — the subject in both layouts).
+    shard_key: Optional[str] = None
 
 
 @dataclass

@@ -90,6 +90,11 @@ class MemoryBackend(Backend):
         with self._lock:  # planning mutates the shared statement cache
             return self.db.explain(sql).text
 
+    def table_statistics(self, table: str):
+        """The engine's catalog statistics for *table*."""
+        with self._lock:
+            return self.db.catalog.statistics(table)
+
     @property
     def last_execution(self):
         """Counters from the most recent execute (benchmark telemetry)."""

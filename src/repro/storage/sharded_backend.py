@@ -1,0 +1,577 @@
+"""Hash-sharded storage: one logical backend over N partitioned children.
+
+:class:`ShardedBackend` hash-partitions every loaded table by its *shard
+key* (the home-key column — the first column in both predicate layouts,
+i.e. the subject) across ``shards`` child backends, each a full
+:class:`~repro.storage.memory_backend.MemoryBackend` or
+:class:`~repro.storage.sqlite_backend.SQLiteBackend`. Every statement is
+routed by the shard analysis in :func:`repro.engine.planner.
+analyze_shard_route` (or by a logical :class:`~repro.sql.translator.
+ShardHint` computed at plan time, which skips re-parsing cached
+statements):
+
+* **pruned** — an equality binds the shard key to a constant: the
+  statement runs on exactly the shards those constants hash to;
+* **scatter** — every join is shard-key co-partitioned but unbound: the
+  statement runs on *all* shards over the PR 4 worker pool
+  (:class:`~repro.engine.parallel.ParallelContext`) and the per-shard
+  results merge — a global set-union when the statement's root
+  deduplicates, order-preserving concatenation (exact multiset)
+  otherwise;
+* **gather** — some join is not on the shard key, so shard-local
+  evaluation would miss cross-shard matches: the referenced tables are
+  pulled shard-parallel into a coordinator :class:`~repro.engine.
+  database.MiniRDBMS` (cached until the next write to those tables) and
+  the statement executes there.
+
+Writes route per shard: ``apply_changes`` splits each table's delta by
+the shard key and applies every child's slice under one exclusive
+read/write barrier, so a concurrently executing query observes either
+the full pre-write or the full post-write state across *all* shards.
+After every write the per-shard catalog statistics are re-merged
+(:meth:`repro.engine.catalog.TableStats.merged`) into the coordinator's
+planner catalog, which prices the gather fallback; pruned probes and
+scatter fan-out are priced against the child estimates plus
+:class:`ShardCostParameters` overheads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.catalog import TableStats
+from repro.engine.database import MiniRDBMS
+from repro.engine.errors import StatementTooLongError, UnknownTableError
+from repro.engine.parallel import ParallelContext
+from repro.engine.planner import ShardRoute, analyze_shard_route
+from repro.engine.sqlparser import parse_sql
+from repro.serving.concurrency import ReadWriteBarrier
+from repro.storage.base import Backend, Row
+from repro.storage.layouts import LayoutData, TableSpec
+from repro.storage.memory_backend import MemoryBackend
+from repro.storage.sqlite_backend import SQLiteBackend
+
+#: Environment knob: thread count for scatter/gather fan-out (default:
+#: one thread per shard, capped at the CPU count).
+SHARD_WORKERS_ENV = "REPRO_SHARD_WORKERS"
+
+#: Statements whose routes we keep (keyed by exact SQL text).
+ROUTE_CACHE_SIZE = 512
+
+
+@dataclass(frozen=True)
+class ShardCostParameters:
+    """How the sharded backend prices its three execution routes."""
+
+    #: Per-shard dispatch + merge overhead a scatter pays on top of the
+    #: largest shard's own estimate.
+    scatter_overhead_per_shard: float = 5.0
+    #: Per-row cost of pulling a referenced table to the coordinator on
+    #: the gather route (charged even when the copy is warm, so plans
+    #: that *stay* shard-local keep winning the cost comparison).
+    gather_transfer_per_row: float = 0.5
+    #: Fixed overhead per pruned shard probe.
+    pruned_probe_overhead: float = 1.0
+
+
+DEFAULT_SHARD_COSTS = ShardCostParameters()
+
+
+@dataclass
+class ShardExecutionStats:
+    """Counters from one sharded execute (telemetry; duck-compatible
+    with :class:`repro.engine.executor.ExecutionStats` consumers)."""
+
+    route: str = "scatter"
+    shards_touched: Tuple[int, ...] = ()
+    shard_count: int = 1
+    rows: int = 0
+    batches: int = 0
+    workers: int = 1
+    morsels: int = 0
+    per_worker: List[Dict] = field(default_factory=list)
+    #: One ``{"shard", "rows"}`` dict per shard that executed.
+    per_shard: List[Dict] = field(default_factory=list)
+
+
+def _env_workers(shards: int) -> int:
+    raw = os.environ.get(SHARD_WORKERS_ENV)
+    if raw is not None:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, min(shards, os.cpu_count() or 1))
+
+
+class ShardedBackend(Backend):
+    """N hash-partitioned child backends behind the one-backend API.
+
+    ``child`` names the child kind (``"memory"`` or ``"sqlite"``);
+    ``child_factory`` overrides it with a zero-argument callable for
+    custom children. ``workers`` bounds the scatter/gather thread pool
+    (default ``REPRO_SHARD_WORKERS``, else one thread per shard capped
+    at the CPU count; 1 keeps fan-out sequential).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        child: str = "memory",
+        child_factory: Optional[Callable[[], Backend]] = None,
+        workers: Optional[int] = None,
+        max_statement_length: Optional[int] = None,
+        cost_parameters: ShardCostParameters = DEFAULT_SHARD_COSTS,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if child_factory is None:
+            if child == "memory":
+                child_factory = MemoryBackend
+            elif child == "sqlite":
+                child_factory = SQLiteBackend
+            else:
+                raise ValueError(f"unknown child backend {child!r}")
+            if max_statement_length is None and child == "memory":
+                from repro.engine.database import DB2_STATEMENT_LIMIT
+
+                max_statement_length = DB2_STATEMENT_LIMIT
+        self.shards = shards
+        self.children: List[Backend] = [child_factory() for _ in range(shards)]
+        self.name = f"sharded[{shards}x{self.children[0].name}]"
+        self.max_statement_length = max_statement_length
+        self.cost_parameters = cost_parameters
+        self._parallel = ParallelContext(
+            workers if workers is not None else _env_workers(shards)
+        )
+        #: Coordinator engine: full schema + merged statistics always;
+        #: gathered row copies only on demand (cross-shard joins).
+        self._coordinator = MiniRDBMS(
+            max_statement_length=max_statement_length or 1_000_000_000
+        )
+        self._coordinator_lock = threading.RLock()
+        #: table (lowercase) -> (columns, shard key column, indexes).
+        #: Mutations (load) happen under the exclusive barrier *and*
+        #: this leaf lock; snapshot-style readers (route planning, the
+        #: largest-shard scan) take only the lock, so they never race a
+        #: concurrent load without having to hold the read barrier.
+        self._schema: Dict[str, Tuple[Tuple[str, ...], str, Tuple]] = {}
+        self._schema_lock = threading.Lock()
+        self._schema_version = 0
+        #: Monotonic per-table write counters vs the version each
+        #: coordinator row copy was gathered at.
+        self._table_versions: Dict[str, int] = {}
+        self._gathered: Dict[str, int] = {}
+        self._route_cache: "OrderedDict[str, ShardRoute]" = OrderedDict()
+        self._route_cache_version = -1
+        self._route_lock = threading.Lock()
+        self._barrier = ReadWriteBarrier()
+        self._telemetry_lock = threading.Lock()
+        self._counters = {
+            "executions": 0,
+            "pruned": 0,
+            "scatter": 0,
+            "gather": 0,
+        }
+        self._largest_shard: Optional[int] = None
+        self._closed = False
+        self.last_execution: Optional[ShardExecutionStats] = None
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def shard_of(self, value: object) -> int:
+        """The shard a home-key value hashes to (stable across runs)."""
+        if isinstance(value, int):
+            return value % self.shards
+        return zlib.crc32(str(value).encode("utf-8")) % self.shards
+
+    def _table_entry(self, table: str) -> Tuple[Tuple[str, ...], str, Tuple]:
+        entry = self._schema.get(table.lower())
+        if entry is None:
+            raise UnknownTableError(f"unknown table {table!r}")
+        return entry
+
+    def _split_rows(
+        self, table: str, rows: Sequence[Row]
+    ) -> Dict[int, List[Row]]:
+        columns, key, _indexes = self._table_entry(table)
+        position = columns.index(key)
+        grouped: Dict[int, List[Row]] = {}
+        for row in rows:
+            grouped.setdefault(self.shard_of(row[position]), []).append(
+                tuple(row)
+            )
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Loading and writes
+    # ------------------------------------------------------------------
+    def load(self, data: LayoutData) -> None:
+        """Partition each table's rows by its shard key and load every
+        child with its slice (plus the full schema and indexes, so any
+        shard can evaluate any statement)."""
+        with self._barrier.exclusive():
+            per_child: List[List[TableSpec]] = [[] for _ in range(self.shards)]
+            for spec in data.tables:
+                key = spec.shard_key or spec.columns[0]
+                position = spec.columns.index(key)
+                name = spec.name.lower()
+                with self._schema_lock:
+                    self._schema[name] = (
+                        tuple(spec.columns),
+                        key,
+                        spec.indexes,
+                    )
+                slices: List[List[Row]] = [[] for _ in range(self.shards)]
+                for row in spec.rows:
+                    slices[self.shard_of(row[position])].append(row)
+                for shard in range(self.shards):
+                    per_child[shard].append(
+                        TableSpec(
+                            name=spec.name,
+                            columns=spec.columns,
+                            rows=slices[shard],
+                            indexes=spec.indexes,
+                            shard_key=spec.shard_key,
+                        )
+                    )
+            self._parallel.map_partitions(
+                lambda shard: self.children[shard].load(
+                    LayoutData(tables=per_child[shard])
+                ),
+                self.shards,
+            )
+            self._schema_version += 1
+            with self._coordinator_lock:
+                for spec in data.tables:
+                    self._coordinator.create_table(spec.name, spec.columns)
+                    for index_columns in spec.indexes:
+                        self._coordinator.create_index(spec.name, index_columns)
+                self._after_write_locked(
+                    [spec.name.lower() for spec in data.tables]
+                )
+
+    def insert_rows(self, table: str, rows: List[Row]) -> None:
+        """Route encoded rows to their home shards (set semantics)."""
+        if not rows:
+            return
+        with self._barrier.exclusive():
+            for shard, slice_rows in self._split_rows(table, rows).items():
+                self.children[shard].insert_rows(table, slice_rows)
+            with self._coordinator_lock:
+                self._after_write_locked([table.lower()])
+
+    def delete_rows(self, table: str, rows: List[Row]) -> int:
+        """Delete encoded rows from their home shards; returns how many
+        distinct stored rows were removed (duplicate input rows count
+        once — the conformance-pinned semantics)."""
+        if not rows:
+            return 0
+        removed = 0
+        with self._barrier.exclusive():
+            for shard, slice_rows in self._split_rows(table, rows).items():
+                removed += self.children[shard].delete_rows(table, slice_rows)
+            with self._coordinator_lock:
+                self._after_write_locked([table.lower()])
+        return removed
+
+    def apply_changes(self, inserts, deletes) -> None:
+        """One exclusive barrier hold for the whole multi-table,
+        multi-shard write: every child applies its slice of the delta
+        atomically, and no query runs between the first and last shard's
+        mutation — a reader sees all of the write or none of it."""
+        with self._barrier.exclusive():
+            per_child_inserts: List[Dict[str, List[Row]]] = [
+                {} for _ in range(self.shards)
+            ]
+            per_child_deletes: List[Dict[str, List[Row]]] = [
+                {} for _ in range(self.shards)
+            ]
+            for table, rows in inserts.items():
+                for shard, slice_rows in self._split_rows(table, rows).items():
+                    per_child_inserts[shard][table] = slice_rows
+            for table, rows in deletes.items():
+                for shard, slice_rows in self._split_rows(table, rows).items():
+                    per_child_deletes[shard][table] = slice_rows
+            for shard, backend in enumerate(self.children):
+                if per_child_inserts[shard] or per_child_deletes[shard]:
+                    backend.apply_changes(
+                        per_child_inserts[shard], per_child_deletes[shard]
+                    )
+            with self._coordinator_lock:
+                self._after_write_locked(
+                    [name.lower() for name in (*inserts, *deletes)]
+                )
+
+    def _after_write_locked(self, tables: Sequence[str]) -> None:
+        """Post-write bookkeeping (coordinator lock held): bump table
+        versions (staling gathered copies) and re-merge the per-shard
+        statistics into the coordinator's planner catalog."""
+        for name in tables:
+            self._table_versions[name] = self._table_versions.get(name, 0) + 1
+            parts = [child.table_statistics(name) for child in self.children]
+            if all(part is not None for part in parts):
+                self._coordinator.catalog.set_statistics(
+                    name, TableStats.merged(parts)
+                )
+        self._largest_shard = None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_from_hint(self, hint) -> Optional[ShardRoute]:
+        """Build a route from a translator :class:`~repro.sql.translator.
+        ShardHint` without parsing any SQL; ``None`` when no hint."""
+        if hint is None:
+            return None
+        tables = tuple(sorted(name.lower() for name in hint.tables))
+        if not hint.co_partitioned:
+            return ShardRoute("gather", (), tables, hint.dedup_root)
+        if hint.key_codes is not None:
+            shards = tuple(
+                sorted({self.shard_of(code) for code in hint.key_codes})
+            )
+            return ShardRoute("pruned", shards, tables, hint.dedup_root)
+        return ShardRoute(
+            "scatter", tuple(range(self.shards)), tables, hint.dedup_root
+        )
+
+    def plan_route(self, sql: str, hint=None) -> ShardRoute:
+        """The route *sql* must take (hint fast path, else parse once;
+        parsed routes are cached per statement text)."""
+        route = self.route_from_hint(hint)
+        if route is not None:
+            return route
+        with self._route_lock:
+            if self._route_cache_version != self._schema_version:
+                self._route_cache.clear()
+                self._route_cache_version = self._schema_version
+            cached = self._route_cache.get(sql)
+            if cached is not None:
+                self._route_cache.move_to_end(sql)
+                return cached
+        with self._schema_lock:
+            table_keys = {
+                name: (columns, key)
+                for name, (columns, key, _indexes) in self._schema.items()
+            }
+        route = analyze_shard_route(
+            parse_sql(sql), table_keys, self.shards, self.shard_of
+        )
+        with self._route_lock:
+            self._route_cache[sql] = route
+            while len(self._route_cache) > ROUTE_CACHE_SIZE:
+                self._route_cache.popitem(last=False)
+        return route
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, route: Optional[ShardRoute] = None) -> List[Row]:
+        """Evaluate *sql* on the route's shards and merge the results."""
+        self._check_length(sql)
+        if route is None:
+            route = self.plan_route(sql)
+        with self._barrier.shared():
+            if route.kind == "gather":
+                rows, stats = self._execute_gather(sql, route)
+            else:
+                rows, stats = self._execute_shards(sql, route)
+        stats.shard_count = self.shards
+        self.last_execution = stats
+        with self._telemetry_lock:
+            self._counters["executions"] += 1
+            self._counters[route.kind] += 1
+        return rows
+
+    def _execute_shards(
+        self, sql: str, route: ShardRoute
+    ) -> Tuple[List[Row], ShardExecutionStats]:
+        targets = route.shards
+
+        def one(index: int) -> Tuple[int, List[Row], int]:
+            shard = targets[index]
+            child = self.children[shard]
+            rows = child.execute(sql)
+            execution = getattr(child, "last_execution", None)
+            batches = getattr(execution, "batches", 0) if execution else 0
+            return shard, rows, batches
+
+        results = self._parallel.map_partitions(one, len(targets))
+        if len(results) == 1:
+            merged = results[0][1]
+        elif route.dedup_root:
+            # Per-shard results are locally deduplicated; identical rows
+            # may still surface from several shards (the output need not
+            # contain the shard key), so merge through one global
+            # seen-set, preserving first-seen order for determinism.
+            merged = list(
+                dict.fromkeys(
+                    row for _shard, rows, _batches in results for row in rows
+                )
+            )
+        else:
+            # Duplicate-preserving roots: contributing rows partition
+            # across shards, so concatenation is the exact multiset.
+            merged = [
+                row for _shard, rows, _batches in results for row in rows
+            ]
+        stats = ShardExecutionStats(
+            route=route.kind,
+            shards_touched=tuple(targets),
+            rows=len(merged),
+            batches=sum(batches for _shard, _rows, batches in results),
+            workers=self._parallel.workers,
+            per_shard=[
+                {"shard": shard, "rows": len(rows)}
+                for shard, rows, _batches in results
+            ],
+        )
+        return merged, stats
+
+    def _execute_gather(
+        self, sql: str, route: ShardRoute
+    ) -> Tuple[List[Row], ShardExecutionStats]:
+        with self._coordinator_lock:
+            self._ensure_gathered(route.tables)
+            rows = self._coordinator.execute(sql)
+            execution = self._coordinator.last_execution
+            stats = ShardExecutionStats(
+                route="gather",
+                shards_touched=tuple(range(self.shards)),
+                rows=len(rows),
+                batches=execution.batches if execution else 0,
+            )
+        return rows, stats
+
+    def _ensure_gathered(self, tables: Sequence[str]) -> None:
+        """Materialize fresh coordinator copies of *tables* (coordinator
+        lock held). Each stale table is scanned shard-parallel and
+        reloaded; warm copies (no write since the last gather) are free.
+        """
+        for name in tables:
+            columns, _key, indexes = self._table_entry(name)
+            version = self._table_versions.get(name, 0)
+            if self._gathered.get(name) == version:
+                continue
+            scan = f"SELECT {', '.join(columns)} FROM {name}"
+            slices = self._parallel.map_partitions(
+                lambda shard: self.children[shard].execute(scan), self.shards
+            )
+            self._coordinator.create_table(name, columns)
+            for slice_rows in slices:
+                self._coordinator.insert_many(name, slice_rows)
+            for index_columns in indexes:
+                self._coordinator.create_index(name, index_columns)
+            self._coordinator.analyze(name)
+            self._gathered[name] = version
+
+    # ------------------------------------------------------------------
+    # Cost estimation and EXPLAIN
+    # ------------------------------------------------------------------
+    def estimated_cost(self, sql: str) -> float:
+        """Route-aware estimate: pruned probes cost the target shards'
+        own estimates, scatter costs the largest shard plus per-shard
+        fan-out overhead, gather additionally pays per-row transfer of
+        every referenced table."""
+        self._check_length(sql)
+        route = self.plan_route(sql)
+        params = self.cost_parameters
+        if route.kind == "gather":
+            with self._coordinator_lock:
+                transfer = sum(
+                    self._coordinator.catalog.statistics(name).cardinality
+                    for name in route.tables
+                    if self._coordinator.catalog.has_table(name)
+                )
+                base = self._coordinator.estimated_cost(sql)
+            return base + transfer * params.gather_transfer_per_row
+        if route.kind == "pruned":
+            return sum(
+                self.children[shard].estimated_cost(sql)
+                for shard in route.shards
+            ) + params.pruned_probe_overhead * len(route.shards)
+        probe = self.children[self._find_largest_shard()].estimated_cost(sql)
+        return probe + params.scatter_overhead_per_shard * self.shards
+
+    def _find_largest_shard(self) -> int:
+        """The shard holding the most rows (representative for scatter
+        estimates — scatter wall clock is the slowest shard's)."""
+        if self._largest_shard is None:
+            with self._schema_lock:
+                names = list(self._schema)
+            totals = [0] * self.shards
+            for name in names:
+                for shard, child in enumerate(self.children):
+                    stats = child.table_statistics(name)
+                    if stats is not None:
+                        totals[shard] += stats.cardinality
+            self._largest_shard = max(range(self.shards), key=totals.__getitem__)
+        return self._largest_shard
+
+    def explain_text(self, sql: str) -> str:
+        """The shard route plus the representative child (or
+        coordinator) plan."""
+        route = self.plan_route(sql)
+        touched = route.shards if route.kind != "gather" else ()
+        header = (
+            f"Shard route: {route.kind} -> "
+            + (
+                f"shards {list(touched)} of {self.shards}"
+                if route.kind != "gather"
+                else f"coordinator (gathered from all {self.shards} shards)"
+            )
+            + f" [tables: {', '.join(route.tables) or '-'}]"
+        )
+        if route.kind == "gather":
+            # Plan from the merged statistics alone — the coordinator's
+            # catalog always carries them, so EXPLAIN never pays the
+            # O(data) gather an execution would (the statement cache is
+            # version-keyed, so a later execute re-plans over real rows).
+            with self._coordinator_lock:
+                detail = self._coordinator.explain(sql).text
+        else:
+            child = self.children[touched[0]]
+            explain = getattr(child, "explain_text", None)
+            detail = explain(sql) if explain else ""
+        return f"{header}\n{detail}" if detail else header
+
+    # ------------------------------------------------------------------
+    # Statistics and telemetry
+    # ------------------------------------------------------------------
+    def table_statistics(self, table: str):
+        """Whole-table statistics merged across the shards."""
+        if not self._coordinator.catalog.has_table(table):
+            return None
+        return self._coordinator.catalog.statistics(table)
+
+    def shard_telemetry(self) -> Dict[str, int]:
+        """Cumulative route counters (plus the shard count)."""
+        with self._telemetry_lock:
+            snapshot = dict(self._counters)
+        snapshot["shards"] = self.shards
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the children, the coordinator and the pool. Idempotent."""
+        self._closed = True
+        for child in self.children:
+            child.close()
+        self._coordinator.close()
+        self._parallel.close()
+
+    def _check_length(self, sql: str) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedBackend is closed")
+        if (
+            self.max_statement_length is not None
+            and len(sql) > self.max_statement_length
+        ):
+            raise StatementTooLongError(len(sql), self.max_statement_length)

@@ -210,6 +210,11 @@ class SQLiteBackend(Backend):
             rows = cursor.execute(f"EXPLAIN QUERY PLAN {sql}").fetchall()
         return "\n".join(str(row) for row in rows)
 
+    def table_statistics(self, table: str):
+        """The shadow planner's statistics for *table* (kept in step with
+        the stored rows by the write path)."""
+        return self._shadow.catalog.statistics(table)
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the in-memory connection (drops the database). Idempotent."""

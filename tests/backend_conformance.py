@@ -1,0 +1,312 @@
+"""The reusable backend-conformance suite.
+
+Every storage backend must behave *identically* — same answers on every
+statement shape the translator emits, same write semantics, same
+return-count contracts — regardless of how it stores rows. The checks
+here were extracted from the ad-hoc MemoryBackend-vs-SQLiteBackend
+differential tests (``test_engine_vectorized.py`` /
+``test_sql_storage.py``) so that any backend, notably
+:class:`~repro.storage.sharded_backend.ShardedBackend` at every shard
+count, runs through one shared contract:
+
+* :func:`check_random_workloads` — seeded random CQ/UCQ-shaped SQL
+  (joins, filters, DISTINCT, UNION / UNION ALL) against an oracle
+  backend, answers compared as sorted multisets;
+* :func:`check_random_write_churn` — random ``insert_rows`` /
+  ``delete_rows`` / ``apply_changes`` churn; the backend must agree with
+  the oracle on every *return count* and every answer at every step;
+* :func:`check_delete_count_semantics` — the pinned ``delete_rows``
+  contract: duplicate input rows count **once**, absent rows count
+  zero, a repeated delete returns zero;
+* :func:`check_dialect_translations` — translated CQ / UCQ / JUCQ /
+  USCQ / JUSCQ reformulations against the trusted naive evaluator, per
+  layout.
+
+``tests/test_backend_conformance.py`` runs the full backend × layout ×
+strategy matrix; the original differential tests delegate here too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.covers.reformulate import (
+    cover_based_reformulation,
+    cover_based_uscq_reformulation,
+)
+from repro.covers.safety import root_cover
+from repro.dllite.parser import parse_query
+from repro.queries.evaluate import evaluate
+from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.reformulation.uscq import factorize_ucq
+from repro.sql.translator import SQLTranslator
+from repro.storage.layouts import LayoutData, TableSpec
+
+CONCEPTS = ("c_a", "c_b", "c_c")
+ROLES = ("r_p", "r_q", "r_r")
+
+
+def clone_abox(abox):
+    """An independent ABox copy (systems under test mutate their own)."""
+    from repro.dllite.abox import ABox
+
+    clone = ABox()
+    for concept in abox.concept_names():
+        for (individual,) in abox.concept_facts(concept):
+            clone.add_concept(concept, individual)
+    for role in abox.role_names():
+        for subject, value in abox.role_facts(role):
+            clone.add_role(role, subject, value)
+    return clone
+
+#: The dialect workload (paper Example 1 vocabulary): bound and unbound
+#: subjects, object-position joins, a boolean query.
+DIALECT_QUERIES = (
+    "q(x) <- PhDStudent(x)",
+    "q(x) <- worksWith(y, x)",
+    "q(x, y) <- worksWith(x, y)",
+    "q(x) <- PhDStudent(x), worksWith(y, x)",
+    "q(x) <- PhDStudent(x), supervisedBy(x, y), worksWith(z, y)",
+    "q() <- supervisedBy(Damian, Ioana)",
+    "q(x) <- supervisedBy(x, Ioana)",
+    "q(x) <- supervisedBy(Damian, x)",
+)
+
+
+# ---------------------------------------------------------------------------
+# Random workload generation (shared by the differential tests)
+# ---------------------------------------------------------------------------
+def random_layout_data(rng: random.Random) -> LayoutData:
+    """A small random simple-layout dataset over a fixed schema."""
+    tables = []
+    for name in CONCEPTS:
+        rows = sorted({(rng.randrange(8),) for _ in range(rng.randrange(1, 10))})
+        tables.append(
+            TableSpec(name=name, columns=("s",), rows=list(rows), indexes=(("s",),))
+        )
+    for name in ROLES:
+        rows = sorted(
+            {
+                (rng.randrange(8), rng.randrange(8))
+                for _ in range(rng.randrange(1, 14))
+            }
+        )
+        tables.append(
+            TableSpec(
+                name=name,
+                columns=("s", "o"),
+                rows=list(rows),
+                indexes=(("s",), ("o",), ("s", "o")),
+            )
+        )
+    return LayoutData(tables=tables)
+
+
+def random_core(rng: random.Random, arity: int) -> str:
+    """One SELECT block over random sources with random predicates."""
+    sources = []
+    for i in range(rng.randrange(1, 4)):
+        table = rng.choice(CONCEPTS + ROLES)
+        sources.append(
+            (f"t{i}", table, ("s",) if table.startswith("c_") else ("s", "o"))
+        )
+    conditions = []
+    for i in range(1, len(sources)):
+        # Connect to an earlier source most of the time (else cross join).
+        if rng.random() < 0.85:
+            left_alias, _t, left_cols = sources[rng.randrange(i)]
+            alias, _t2, cols = sources[i]
+            conditions.append(
+                f"{left_alias}.{rng.choice(left_cols)} = {alias}.{rng.choice(cols)}"
+            )
+    for alias, _table, cols in sources:
+        if rng.random() < 0.4:
+            op = "=" if rng.random() < 0.8 else "<>"
+            conditions.append(f"{alias}.{rng.choice(cols)} {op} {rng.randrange(8)}")
+        if len(cols) == 2 and rng.random() < 0.15:
+            conditions.append(f"{alias}.s = {alias}.o")
+    projections = []
+    for _ in range(arity):
+        alias, _table, cols = rng.choice(sources)
+        projections.append(f"{alias}.{rng.choice(cols)}")
+    sql = "SELECT "
+    if rng.random() < 0.5:
+        sql += "DISTINCT "
+    sql += ", ".join(f"{p} AS out{i}" for i, p in enumerate(projections))
+    sql += " FROM " + ", ".join(f"{t} {a}" for a, t, _ in sources)
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql
+
+
+def random_statement(rng: random.Random) -> str:
+    """A random one-to-three-arm UNION / UNION ALL statement."""
+    arity = rng.randrange(1, 3)
+    arms = [random_core(rng, arity) for _ in range(rng.randrange(1, 4))]
+    if len(arms) == 1:
+        return arms[0]
+    connector = " UNION " if rng.random() < 0.7 else " UNION ALL "
+    return connector.join(arms)
+
+
+# ---------------------------------------------------------------------------
+# Conformance checks
+# ---------------------------------------------------------------------------
+def check_random_workloads(
+    make_backend: Callable,
+    make_oracle: Callable,
+    seed: int,
+    statements: int = 25,
+) -> None:
+    """Backend and oracle agree on random workloads, as sorted multisets
+    (so UNION ALL duplicate counts are pinned too)."""
+    rng = random.Random(seed)
+    data = random_layout_data(rng)
+    backend, oracle = make_backend(), make_oracle()
+    try:
+        backend.load(data)
+        oracle.load(data)
+        for _ in range(statements):
+            sql = random_statement(rng)
+            assert sorted(backend.execute(sql)) == sorted(
+                oracle.execute(sql)
+            ), f"divergence on: {sql}"
+    finally:
+        backend.close()
+        oracle.close()
+
+
+def check_random_write_churn(
+    make_backend: Callable,
+    make_oracle: Callable,
+    seed: int,
+    epochs: int = 8,
+    statements_per_epoch: int = 6,
+) -> None:
+    """Random write churn: identical return counts and answers at every
+    epoch. Delete batches deliberately include duplicate rows."""
+    rng = random.Random(seed)
+    data = random_layout_data(rng)
+    backend, oracle = make_backend(), make_oracle()
+
+    def random_rows(table: str, count: int):
+        arity = 1 if table.startswith("c_") else 2
+        return [
+            tuple(rng.randrange(8) for _ in range(arity)) for _ in range(count)
+        ]
+
+    try:
+        backend.load(data)
+        oracle.load(data)
+        for _ in range(epochs):
+            table = rng.choice(CONCEPTS + ROLES)
+            inserts = random_rows(table, rng.randrange(0, 5))
+            deletes = random_rows(table, rng.randrange(0, 5))
+            if deletes and rng.random() < 0.5:
+                deletes.append(deletes[0])  # duplicate input row
+            if rng.random() < 0.5:
+                backend.insert_rows(table, inserts)
+                oracle.insert_rows(table, inserts)
+                removed = backend.delete_rows(table, deletes)
+                assert removed == oracle.delete_rows(table, deletes)
+            else:
+                other = rng.choice(CONCEPTS + ROLES)
+                changes = (
+                    {table: inserts},
+                    {table: deletes, other: random_rows(other, 2)}
+                    if other != table
+                    else {table: deletes},
+                )
+                backend.apply_changes(*changes)
+                oracle.apply_changes(*changes)
+            for _ in range(statements_per_epoch):
+                sql = random_statement(rng)
+                assert sorted(backend.execute(sql)) == sorted(
+                    oracle.execute(sql)
+                ), f"divergence after churn on: {sql}"
+    finally:
+        backend.close()
+        oracle.close()
+
+
+def check_delete_count_semantics(make_backend: Callable) -> None:
+    """The pinned ``Backend.delete_rows`` return-count contract."""
+    backend = make_backend()
+    try:
+        backend.load(
+            LayoutData(
+                tables=[
+                    TableSpec(
+                        name="c_a",
+                        columns=("s",),
+                        rows=[(1,), (2,), (3,)],
+                        indexes=(("s",),),
+                    ),
+                    TableSpec(
+                        name="r_p",
+                        columns=("s", "o"),
+                        rows=[(1, 2), (2, 3)],
+                        indexes=(("s",), ("o",), ("s", "o")),
+                    ),
+                ]
+            )
+        )
+        # Duplicate input rows count once: one stored row was removed.
+        assert backend.delete_rows("c_a", [(1,), (1,)]) == 1
+        # Absent rows count zero.
+        assert backend.delete_rows("c_a", [(9,)]) == 0
+        # Mixed batch: duplicates collapse, absents don't count.
+        assert backend.delete_rows("c_a", [(2,), (2,), (3,), (99,)]) == 2
+        # Deleting again finds nothing.
+        assert backend.delete_rows("c_a", [(2,)]) == 0
+        assert backend.execute("SELECT s FROM c_a") == []
+        # Same contract on binary tables.
+        assert backend.delete_rows("r_p", [(1, 2), (1, 2), (7, 7)]) == 1
+        assert sorted(backend.execute("SELECT s, o FROM r_p")) == [(2, 3)]
+    finally:
+        backend.close()
+
+
+def check_dialect_translations(
+    make_backend: Callable,
+    layout_factory: Callable,
+    abox,
+    tbox,
+    queries: Sequence[str] = DIALECT_QUERIES,
+) -> None:
+    """Translated dialects match the trusted naive evaluator.
+
+    Covers plain CQs plus the UCQ / JUCQ / USCQ / JUSCQ reformulations
+    of the running-example query, on the given layout.
+    """
+    layout = layout_factory()
+    data = layout.build(abox, tbox)
+    translator = SQLTranslator(layout)
+    backend = make_backend()
+    store = abox.fact_store()
+
+    def assert_matches(query_like, query_for_expected=None):
+        sql = translator.translate(query_like)
+        rows = backend.execute(sql)
+        expected = evaluate(query_for_expected or query_like, store)
+        head = getattr(query_like, "head", None)
+        if head is None or head:
+            decoded = {layout.dictionary.decode_row(row) for row in rows}
+            assert decoded == expected, query_like
+        else:
+            assert (len(rows) > 0) == (len(expected) > 0), query_like
+
+    try:
+        backend.load(data)
+        for text in queries:
+            assert_matches(parse_query(text))
+        query = parse_query("q(x) <- PhDStudent(x), worksWith(y, x)")
+        ucq = reformulate_to_ucq(query, tbox)
+        assert_matches(ucq)
+        assert_matches(factorize_ucq(ucq), ucq)
+        cover = root_cover(query, tbox)
+        assert_matches(cover_based_reformulation(cover, tbox))
+        assert_matches(cover_based_uscq_reformulation(cover, tbox))
+    finally:
+        backend.close()

@@ -175,13 +175,24 @@ class TestAnswerManyDeterminism:
     def test_engine_workers_flow_into_the_memory_backend(
         self, example1_tbox, example1_abox
     ):
+        def engine_workers(system):
+            # Under REPRO_SHARDS the memory backend sits behind a
+            # ShardedBackend; the knob must reach every child engine.
+            backend = system.backend
+            engines = [
+                child.db for child in getattr(backend, "children", [backend])
+            ]
+            counts = {engine.workers for engine in engines}
+            assert len(counts) == 1
+            return counts.pop()
+
         with OBDASystem(
             example1_tbox, example1_abox, engine_workers=4
         ) as parallel, OBDASystem(
             example1_tbox, example1_abox, engine_workers=1
         ) as serial:
-            assert parallel.backend.db.workers == 4
-            assert serial.backend.db.workers == 1
+            assert engine_workers(parallel) == 4
+            assert engine_workers(serial) == 1
             for query in self.QUERIES:
                 assert (
                     parallel.answer(query).answers

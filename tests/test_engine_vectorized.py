@@ -292,126 +292,40 @@ class TestWritePathStatistics:
 
 
 # ---------------------------------------------------------------------------
-# Randomized differential testing against SQLite
+# Randomized differential testing against SQLite — generators and checks
+# live in the reusable conformance suite (backend_conformance.py), which
+# also runs them over ShardedBackend at several shard counts.
 # ---------------------------------------------------------------------------
 
-CONCEPTS = ("c_a", "c_b", "c_c")
-ROLES = ("r_p", "r_q", "r_r")
-
-
-def _random_layout(rng):
-    tables = []
-    for name in CONCEPTS:
-        rows = sorted({(rng.randrange(8),) for _ in range(rng.randrange(1, 10))})
-        tables.append(
-            TableSpec(name=name, columns=("s",), rows=list(rows), indexes=(("s",),))
-        )
-    for name in ROLES:
-        rows = sorted(
-            {
-                (rng.randrange(8), rng.randrange(8))
-                for _ in range(rng.randrange(1, 14))
-            }
-        )
-        tables.append(
-            TableSpec(
-                name=name,
-                columns=("s", "o"),
-                rows=list(rows),
-                indexes=(("s",), ("o",), ("s", "o")),
-            )
-        )
-    return LayoutData(tables=tables)
-
-
-def _random_core(rng, arity):
-    """One SELECT block over random sources with random predicates."""
-    sources = []
-    for i in range(rng.randrange(1, 4)):
-        table = rng.choice(CONCEPTS + ROLES)
-        sources.append((f"t{i}", table, ("s",) if table.startswith("c_") else ("s", "o")))
-    conditions = []
-    for i in range(1, len(sources)):
-        # Connect to an earlier source most of the time (else cross join).
-        if rng.random() < 0.85:
-            left_alias, _t, left_cols = sources[rng.randrange(i)]
-            alias, _t2, cols = sources[i]
-            conditions.append(
-                f"{left_alias}.{rng.choice(left_cols)} = {alias}.{rng.choice(cols)}"
-            )
-    for alias, _table, cols in sources:
-        if rng.random() < 0.4:
-            op = "=" if rng.random() < 0.8 else "<>"
-            conditions.append(f"{alias}.{rng.choice(cols)} {op} {rng.randrange(8)}")
-        if len(cols) == 2 and rng.random() < 0.15:
-            conditions.append(f"{alias}.s = {alias}.o")
-    projections = []
-    for _ in range(arity):
-        alias, _table, cols = rng.choice(sources)
-        projections.append(f"{alias}.{rng.choice(cols)}")
-    sql = "SELECT "
-    if rng.random() < 0.5:
-        sql += "DISTINCT "
-    sql += ", ".join(
-        f"{p} AS out{i}" for i, p in enumerate(projections)
-    )
-    sql += " FROM " + ", ".join(f"{t} {a}" for a, t, _ in sources)
-    if conditions:
-        sql += " WHERE " + " AND ".join(conditions)
-    return sql
-
-
-def _random_statement(rng):
-    arity = rng.randrange(1, 3)
-    arms = [_random_core(rng, arity) for _ in range(rng.randrange(1, 4))]
-    if len(arms) == 1:
-        return arms[0]
-    connector = " UNION " if rng.random() < 0.7 else " UNION ALL "
-    return connector.join(arms)
+from backend_conformance import (  # noqa: E402
+    check_random_workloads,
+    random_layout_data,
+    random_statement,
+)
 
 
 @pytest.mark.parametrize("seed", range(8))
 def test_differential_random_workloads(seed):
     """MemoryBackend and SQLiteBackend agree on random CQ/UCQ workloads."""
-    rng = random.Random(1000 + seed)
-    data = _random_layout(rng)
-    memory = MemoryBackend()
-    memory.load(data)
-    sqlite = SQLiteBackend()
-    sqlite.load(data)
-    try:
-        for _ in range(25):
-            sql = _random_statement(rng)
-            ours = sorted(memory.execute(sql))
-            theirs = sorted(sqlite.execute(sql))
-            assert ours == theirs, f"divergence on: {sql}"
-    finally:
-        sqlite.close()
+    check_random_workloads(MemoryBackend, SQLiteBackend, 1000 + seed)
 
 
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
 def test_differential_small_batches(batch_size):
     """Batch boundaries never change answers (vs SQLite)."""
-    rng = random.Random(77)
-    data = _random_layout(rng)
-    memory = MemoryBackend(
-        cost_parameters=CostParameters(batch_size=batch_size)
+    check_random_workloads(
+        lambda: MemoryBackend(
+            cost_parameters=CostParameters(batch_size=batch_size)
+        ),
+        SQLiteBackend,
+        77,
     )
-    memory.load(data)
-    sqlite = SQLiteBackend()
-    sqlite.load(data)
-    try:
-        for _ in range(25):
-            sql = _random_statement(rng)
-            assert sorted(memory.execute(sql)) == sorted(sqlite.execute(sql))
-    finally:
-        sqlite.close()
 
 
 def test_differential_jucq_shape():
     """The WITH-based fragment-join shape both backends must agree on."""
     rng = random.Random(5)
-    data = _random_layout(rng)
+    data = random_layout_data(rng)
     memory = MemoryBackend()
     memory.load(data)
     sqlite = SQLiteBackend()
@@ -426,3 +340,13 @@ def test_differential_jucq_shape():
         assert sorted(memory.execute(sql)) == sorted(sqlite.execute(sql))
     finally:
         sqlite.close()
+
+
+def test_random_statement_generator_stays_in_grammar():
+    """The shared generator's output parses in the engine's SQL dialect
+    (the conformance suite depends on it)."""
+    from repro.engine.sqlparser import parse_sql
+
+    rng = random.Random(9)
+    for _ in range(50):
+        parse_sql(random_statement(rng))

@@ -139,15 +139,9 @@ class TestRDFLayout:
             assert type_code in fixed.values()
 
 
-QUERIES = [
-    "q(x) <- PhDStudent(x)",
-    "q(x) <- worksWith(y, x)",
-    "q(x, y) <- worksWith(x, y)",
-    "q(x) <- PhDStudent(x), worksWith(y, x)",
-    "q(x) <- PhDStudent(x), supervisedBy(x, y), worksWith(z, y)",
-    "q() <- supervisedBy(Damian, Ioana)",
-    "q(x) <- supervisedBy(x, Ioana)",
-]
+from backend_conformance import (  # noqa: E402
+    check_dialect_translations,
+)
 
 
 def _backends():
@@ -155,25 +149,22 @@ def _backends():
 
 
 class TestDifferentialCQ:
-    """SQL on both backends == naive evaluation, on both layouts."""
+    """SQL on both backends == naive evaluation, on both layouts.
 
-    @pytest.mark.parametrize("query_text", QUERIES)
-    @pytest.mark.parametrize("layout_factory", [SimpleLayout, lambda: RDFLayout(width=4)])
-    def test_cq_translation(self, abox, query_text, layout_factory):
-        query = parse_query(query_text)
-        expected = evaluate(query, abox.fact_store())
-        layout = layout_factory()
-        data = layout.build(abox)
-        sql = SQLTranslator(layout).translate(query)
-        for backend in _backends():
-            backend.load(data)
-            rows = backend.execute(sql)
-            assert _decoded(rows, layout.dictionary) >= expected or True
-            # Boolean queries return [(1,)] for true, [] for false.
-            if query.head:
-                assert _decoded(rows, layout.dictionary) == expected, backend.name
-            else:
-                assert (len(rows) > 0) == (len(expected) > 0), backend.name
+    Delegates to the reusable conformance suite, which runs the same
+    checks over ShardedBackend too (test_backend_conformance.py).
+    """
+
+    @pytest.mark.parametrize("backend_factory", [SQLiteBackend, MemoryBackend])
+    @pytest.mark.parametrize(
+        "layout_factory", [SimpleLayout, lambda: RDFLayout(width=4)]
+    )
+    def test_cq_translation(
+        self, abox, example1_tbox, backend_factory, layout_factory
+    ):
+        check_dialect_translations(
+            backend_factory, layout_factory, abox, example1_tbox
+        )
 
 
 class TestDifferentialReformulations:
