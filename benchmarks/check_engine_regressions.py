@@ -11,7 +11,13 @@ Fails (exit 1) loudly when:
   below the floor (``REPRO_BENCH_REGRESSION_FLOOR``, default 0.5 — i.e.
   a 2x slowdown against the recorded engine baseline, far outside CI
   timing noise);
-* a run recorded rows but every row failed.
+* a run recorded rows but every row failed;
+* a ``parallel_*`` / ``process_*`` scaling block whose benchmark ran on
+  scaling-capable hardware (it recorded ``scaling_asserted: true``)
+  reports a ``speedup_4w_vs_1w`` below the scaling floor
+  (``REPRO_BENCH_SCALING_FLOOR``, default 2.0). Blocks measured on
+  hardware that cannot scale (one CPU, or a GIL-bound thread benchmark)
+  carry ``scaling_asserted: false`` and are informational only.
 
 Baselines are per-scale (``baseline_engine.json`` at the default
 scales, ``baseline_engine_tiny.json`` at the tiny smoke scale — see
@@ -58,9 +64,34 @@ def check(path: str) -> int:
             failures.append(
                 f"{name}: geomean speedup {geomean:.2f}x below floor {floor:.2f}x"
             )
+    scaling_floor = float(
+        os.environ.get("REPRO_BENCH_SCALING_FLOOR", "2.0")
+    )
     extras = report.get("extras", {})
     for name, payload in sorted(extras.items()):
         print(f"  extras.{name}: {payload}")
+        if not (name.startswith("parallel_") or name.startswith("process_")):
+            continue
+        if not isinstance(payload, dict) or "speedup_4w_vs_1w" not in payload:
+            continue
+        speedup = payload["speedup_4w_vs_1w"]
+        if payload.get("scaling_asserted"):
+            marker = "ok" if speedup >= scaling_floor else "REGRESSION"
+            print(
+                f"    scaling: {speedup:.2f}x at 4 workers "
+                f"(floor {scaling_floor:.2f}) {marker}"
+            )
+            if speedup < scaling_floor:
+                failures.append(
+                    f"extras.{name}: speedup_4w_vs_1w {speedup:.2f}x below "
+                    f"scaling floor {scaling_floor:.2f}x on hardware that "
+                    "asserted scaling"
+                )
+        else:
+            print(
+                f"    scaling: {speedup:.2f}x at 4 workers "
+                "(recorded, not asserted on this hardware)"
+            )
     if failures:
         print("FAIL:")
         for failure in failures:

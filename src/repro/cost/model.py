@@ -18,7 +18,7 @@ per backend the way the paper calibrates "a few constant coefficients".
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cost.statistics import DataStatistics
 from repro.queries.atoms import Atom
@@ -54,6 +54,11 @@ class ExternalCostParameters:
     #: learn_parallelism`), not an assumption: morsel scheduling, merge
     #: barriers and (on CPython) the GIL keep it well below 1.
     parallel_efficiency: float = 0.7
+    #: The execution substrate the modeled backend runs on (``thread``
+    #: / ``process`` / ``serial``). Learned efficiencies are keyed by
+    #: substrate, so only measurements taken on *this* substrate flow
+    #: into :attr:`parallel_efficiency`.
+    substrate: str = "thread"
 
     def parallel_speedup(self) -> float:
         """Discount factor for per-row work: ``1 + eff * (workers-1)``,
@@ -82,6 +87,14 @@ class ExternalCostModel:
     ) -> None:
         self.statistics = statistics
         self.parameters = parameters
+        #: Learned per-worker efficiencies by substrate name. Seeded
+        #: with the active substrate's configured value; only the entry
+        #: matching ``parameters.substrate`` is ever applied to
+        #: estimates, so a thread-mode (GIL-bound) calibration can't
+        #: poison process-mode costing or vice versa.
+        self.efficiency_by_substrate: Dict[str, float] = {
+            parameters.substrate: parameters.parallel_efficiency
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -94,15 +107,25 @@ class ExternalCostModel:
         """Estimated result cardinality of *query*."""
         return self._dispatch(query).rows
 
-    def learn_parallelism(self, workers: int, observed_speedup: float) -> float:
+    def learn_parallelism(
+        self,
+        workers: int,
+        observed_speedup: float,
+        substrate: Optional[str] = None,
+    ) -> float:
         """Calibrate the parallelism discount from a measurement.
 
         ``observed_speedup`` is the backend's measured serial/parallel
-        wall-clock ratio at *workers*. The per-worker efficiency that
-        reproduces it is stored in :attr:`parameters` (replacing the
-        frozen dataclass), so subsequent estimates price per-row work at
-        the *observed* discount rather than an assumed-linear one.
-        Returns the learned efficiency.
+        wall-clock ratio at *workers*, taken on *substrate* (default:
+        the active one). The per-worker efficiency that reproduces it
+        is recorded in :attr:`efficiency_by_substrate` and — only when
+        the measurement's substrate is the one this model actually
+        prices (``parameters.substrate``) — stored in
+        :attr:`parameters` (replacing the frozen dataclass), so
+        subsequent estimates use the *observed* discount rather than an
+        assumed-linear one. A measurement for a different substrate is
+        kept for the record without touching live estimates. Returns
+        the learned efficiency.
         """
         if workers <= 1:
             efficiency = 0.0
@@ -110,9 +133,14 @@ class ExternalCostModel:
             efficiency = max(
                 0.0, min(1.0, (observed_speedup - 1.0) / (workers - 1))
             )
-        self.parameters = replace(
-            self.parameters, workers=workers, parallel_efficiency=efficiency
-        )
+        target = substrate or self.parameters.substrate
+        self.efficiency_by_substrate[target] = efficiency
+        if target == self.parameters.substrate:
+            self.parameters = replace(
+                self.parameters,
+                workers=workers,
+                parallel_efficiency=efficiency,
+            )
         return efficiency
 
     # ------------------------------------------------------------------

@@ -14,7 +14,11 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog
 from repro.engine.errors import StatementTooLongError
-from repro.engine.executor import ExecutionStats, execute_plan
+from repro.engine.executor import (
+    ExecutionStats,
+    execute_plan,
+    execute_plan_columns,
+)
 from repro.engine.explain import ExplainResult, explain_plan
 from repro.engine.operators import CostParameters, DEFAULT_COSTS
 from repro.engine.parallel import ParallelContext
@@ -51,13 +55,18 @@ class MiniRDBMS:
         plan_cache_size: int = 256,
         workers: Optional[int] = None,
         parallel_context: Optional[ParallelContext] = None,
+        substrate: Optional[str] = None,
     ) -> None:
         self.catalog = Catalog()
         self.max_statement_length = max_statement_length
         #: The engine's worker pool and morsel scheduling policy. Shared
         #: by every statement executed here, so the machine-wide thread
         #: count stays bounded regardless of serving concurrency.
-        self.parallel = parallel_context or ParallelContext(workers)
+        #: ``substrate`` selects its executor backend (default
+        #: ``REPRO_EXECUTOR`` / auto-detection).
+        self.parallel = parallel_context or ParallelContext(
+            workers, substrate=substrate
+        )
         if cost_parameters.workers != self.parallel.workers:
             # Keep the costed and the executed degree of parallelism in
             # step without mutating the (possibly shared) input object.
@@ -151,6 +160,21 @@ class MiniRDBMS:
         self.last_execution = stats
         return rows
 
+    def execute_columns(self, sql: str) -> Tuple[int, List[List]]:
+        """Run a statement and return ``(nrows, column vectors)``.
+
+        The columnar twin of :meth:`execute` — same answers, same
+        order, but no row tuples are materialized. Shard worker
+        processes answer scatter legs through this so results go
+        straight into the per-column shared-memory wire format.
+        """
+        stats = ExecutionStats()
+        result = execute_plan_columns(
+            self.plan(sql), stats, parallel=self.parallel
+        )
+        self.last_execution = stats
+        return result
+
     def explain(self, sql: str) -> ExplainResult:
         """The planner's cost estimate for a statement (no execution)."""
         return explain_plan(self.plan(sql), workers=self.parallel.workers)
@@ -167,23 +191,34 @@ class MiniRDBMS:
         """The engine's configured degree of parallelism."""
         return self.parallel.workers
 
-    def learn_parallel_efficiency(self, observed_speedup: float) -> float:
+    def learn_parallel_efficiency(
+        self, observed_speedup: float, substrate: Optional[str] = None
+    ) -> float:
         """Calibrate the cost model from a *measured* parallel speedup.
 
         Back-solves the per-worker efficiency that reproduces
         ``observed_speedup`` at the current worker count (see
-        :meth:`~repro.engine.parallel.ParallelContext.learn`), stores it
-        in :attr:`cost_parameters` and invalidates cached plans so later
-        costing uses the truthful discount. Returns the efficiency.
+        :meth:`~repro.engine.parallel.ParallelContext.learn`). The
+        measurement is recorded under *substrate* (default: the
+        context's own) and flows into :attr:`cost_parameters` — with
+        cached plans invalidated so later costing uses the truthful
+        discount — **only when it belongs to the substrate this engine
+        actually runs on**: a GIL-bound thread measurement handed in
+        for the record cannot poison process-substrate estimates, nor
+        vice versa. Returns the efficiency.
         """
-        efficiency = self.parallel.learn(observed_speedup)
-        self.cost_parameters = replace(
-            self.cost_parameters, parallel_efficiency=efficiency
-        )
-        self.parallel.cost_discount = self.cost_parameters.parallel_speedup()
-        # Plans cache their cost annotations; force re-planning.
-        self._plan_cache.clear()
-        self._plan_cache_version = -1
+        target = substrate or self.parallel.substrate
+        efficiency = self.parallel.learn(observed_speedup, substrate=target)
+        if target == self.parallel.substrate:
+            self.cost_parameters = replace(
+                self.cost_parameters, parallel_efficiency=efficiency
+            )
+            self.parallel.cost_discount = (
+                self.cost_parameters.parallel_speedup()
+            )
+            # Plans cache their cost annotations; force re-planning.
+            self._plan_cache.clear()
+            self._plan_cache_version = -1
         return efficiency
 
     def close(self) -> None:

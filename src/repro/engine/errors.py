@@ -38,3 +38,10 @@ class StatementTooLongError(EngineError):
         )
         self.size = size
         self.limit = limit
+
+    def __reduce__(self):
+        """Pickle via the real constructor arguments (the default would
+        replay ``args`` — the formatted message — into ``__init__`` and
+        fail; shard worker processes ship this exception back to the
+        coordinator)."""
+        return (type(self), (self.size, self.limit))

@@ -142,6 +142,22 @@ def _execute_plan_parallel(
     parallel: ParallelContext,
 ) -> List[Row]:
     """The morsel-driven execution path (two or more workers)."""
+    body_batches = _body_batches_parallel(plan, stats, parallel)
+    out: List[Row] = []
+    for batch in body_batches:
+        out.extend(zip(*batch))
+    if stats is not None:
+        stats.rows = len(out)
+    return out
+
+
+def _body_batches_parallel(
+    plan: Plan,
+    stats: Optional[ExecutionStats],
+    parallel: ParallelContext,
+) -> List[Batch]:
+    """Materialize CTEs and collect the body's merged batches (the
+    shared core of the row-tuple and columnar parallel paths)."""
     context: Dict = {}
     counters: List[Tuple[str, int, int]] = []
     for name, materialize in plan.cte_plans:
@@ -151,13 +167,54 @@ def _execute_plan_parallel(
             stats.batches += len(batches)
             stats.materialized_ctes += 1
     body_batches = _run_root_parallel(plan.body, context, parallel, counters)
-    out: List[Row] = []
-    for batch in body_batches:
-        out.extend(zip(*batch))
     if stats is not None:
         stats.batches += len(body_batches)
-        stats.rows = len(out)
         stats.workers = parallel.workers
         stats.morsels = len(counters)
         stats.per_worker = aggregate_worker_counters(counters)
-    return out
+    return body_batches
+
+
+def execute_plan_columns(
+    plan: Plan,
+    stats: Optional[ExecutionStats] = None,
+    parallel: Optional[ParallelContext] = None,
+) -> Tuple[int, List[List]]:
+    """Run *plan* and return ``(nrows, columns)`` — no row tuples built.
+
+    The columnar twin of :func:`execute_plan` for callers that want the
+    result in column vectors (the process substrate's shared-memory
+    wire format is per-column, so a shard worker answering through this
+    skips materializing ``nrows`` tuples only to transpose them again).
+    Column order and intra-column order match :func:`execute_plan`
+    exactly; an empty result is ``(0, [])``.
+    """
+    if parallel is not None and parallel.parallel:
+        body_batches = _body_batches_parallel(plan, stats, parallel)
+    else:
+        context: Dict[str, List[Batch]] = {}
+        for name, materialize in plan.cte_plans:
+            batches = list(materialize.batches(context))
+            context[name] = batches
+            if stats is not None:
+                stats.batches += len(batches)
+                stats.materialized_ctes += 1
+        body_batches = list(plan.body.batches(context))
+        if stats is not None:
+            stats.batches += len(body_batches)
+    body_batches = [batch for batch in body_batches if len(batch[0])]
+    if not body_batches:
+        if stats is not None:
+            stats.rows = 0
+        return 0, []
+    width = len(body_batches[0])
+    columns: List[List] = []
+    for position in range(width):
+        column: List = []
+        for batch in body_batches:
+            column.extend(batch[position])
+        columns.append(column)
+    nrows = len(columns[0]) if columns else 0
+    if stats is not None:
+        stats.rows = nrows
+    return nrows, columns

@@ -82,6 +82,12 @@ class CostParameters:
     #: (morsel scheduling, merge barriers and — on CPython — the GIL make
     #: this well below 1; calibrate with ``ParallelContext.learn``).
     parallel_efficiency: float = 0.7
+    #: The execution substrate :attr:`parallel_efficiency` was measured
+    #: on (``serial`` / ``thread`` / ``process``). Substrate-keyed
+    #: calibration (``MiniRDBMS.learn_parallel_efficiency``) only
+    #: applies measurements matching the engine's live substrate, so a
+    #: GIL-bound thread figure never prices process-substrate scatter.
+    substrate: str = "thread"
 
     def parallel_speedup(self) -> float:
         """The factor per-row pipeline work is discounted by.

@@ -1,40 +1,71 @@
-"""Morsel-driven parallelism: the engine's worker pool and morsel math.
+"""Execution substrates and morsel-driven parallelism.
 
-The vectorized engine's unit of data is the columnar batch; the unit of
-*scheduling* is the **morsel** — a contiguous range of a pipeline
-source's batches, small enough that the pool load-balances (a worker
-that drew a cheap morsel pulls the next one) but large enough that
-per-morsel bookkeeping stays negligible. One :class:`ParallelContext`
-owns the engine's thread pool and decides how many morsels a pipeline is
-split into; operators never talk to threads themselves — they only know
-how to serve *partition ``i`` of ``n``* of their output (see
-``batches_partitioned`` in :mod:`repro.engine.operators`).
+Two orthogonal ideas live here:
+
+* The **substrate** — *what* carries concurrent work: an
+  :class:`ExecutorBackend` with three interchangeable implementations:
+  ``serial`` (inline, no pool), ``thread`` (a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor`) and ``process``
+  (long-lived per-shard engine worker processes — hosted by
+  :mod:`repro.storage.process_workers`, selected here). The substrate is
+  chosen per component via the ``REPRO_EXECUTOR`` environment knob or a
+  constructor argument; ``auto`` prefers threads only on a free-threaded
+  CPython (``sys._is_gil_enabled()`` false) — on a stock-GIL build,
+  threads cannot run pure-Python pipelines in parallel, so components
+  that *can* cross a process boundary (sharded scatter) prefer the
+  process substrate instead.
+* The **morsel** — *how* one pipeline is split: a contiguous range of a
+  pipeline source's batches, small enough that the pool load-balances
+  (a worker that drew a cheap morsel pulls the next one) but large
+  enough that per-morsel bookkeeping stays negligible. One
+  :class:`ParallelContext` owns the engine's executor and decides how
+  many morsels a pipeline is split into; operators never talk to the
+  substrate themselves — they only know how to serve *partition ``i``
+  of ``n``* of their output (see ``batches_partitioned`` in
+  :mod:`repro.engine.operators`).
 
 **Determinism.** Partitions are contiguous slices merged back in
 partition order, so a parallel execution yields exactly the serial
 multiset for duplicate-preserving plans and exactly the serial set for
-deduplicating plans, at any worker count. Tests pin this at workers
-1/2/8.
+deduplicating plans, at any worker count and on any substrate. Tests
+pin this at workers 1/2/8 and across substrates.
 
-**Honesty about CPython.** Workers are threads; under the GIL,
-pure-Python pipeline work does not speed up wall-clock on any core
-count (the structure exists, and pays off, for GIL-releasing storage
-like SQLite and for free-threaded builds). :meth:`ParallelContext.learn`
-back-solves the *observed* per-worker efficiency from a measured
-speedup so the cost model's parallelism discount stays truthful instead
-of assuming linear scaling.
+**Honesty about CPython.** Engine morsels share one address space, so
+their substrate is a thread pool (or inline serial execution); under
+the GIL, pure-Python pipeline work does not speed up wall-clock on any
+core count. The structure exists, and pays off, for GIL-releasing
+storage, for free-threaded builds — and for the *process* substrate,
+where each shard's engine runs in its own interpreter and scatter work
+truly parallelizes. :meth:`ParallelContext.learn` back-solves the
+*observed* per-worker efficiency from a measured speedup — recorded
+**per substrate**, so a GIL-bound thread measurement can never poison
+the process substrate's cost estimates (or vice versa).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import threading
+from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Environment knob: default worker count for every engine instance that
 #: is not given an explicit ``workers`` argument. ``1`` means serial.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob: the execution substrate (``auto`` / ``serial`` /
+#: ``thread`` / ``process``) for every component not given an explicit
+#: ``substrate`` argument. ``auto`` (the default) prefers threads only
+#: on free-threaded CPython; components that can cross a process
+#: boundary prefer ``process`` on stock-GIL builds with more than one
+#: CPU.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: The recognised substrate names (``auto`` resolves to one of the
+#: other three per component).
+SUBSTRATES = ("auto", "serial", "thread", "process")
 
 #: Environment knob: morsels handed to *each* worker per pipeline.
 #: More morsels per worker = finer load balancing, more per-morsel
@@ -65,6 +96,73 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
+def gil_enabled() -> bool:
+    """Whether this interpreter serializes Python bytecode on a GIL.
+
+    ``True`` on every stock CPython; ``False`` only on a free-threaded
+    build actually running with the GIL disabled (``sys.
+    _is_gil_enabled()`` exists from 3.13 and reports the runtime state).
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return True if probe is None else bool(probe())
+
+
+def process_substrate_available() -> bool:
+    """Whether per-shard worker processes can be hosted here.
+
+    The process substrate forks long-lived workers (the ``fork`` start
+    method keeps worker startup at milliseconds and lets arbitrary
+    child factories cross the boundary without pickling); platforms
+    without it fall back to the thread substrate.
+    """
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def substrate_from_env() -> str:
+    """The ``REPRO_EXECUTOR`` value (validated; unset/garbage = auto)."""
+    raw = os.environ.get(EXECUTOR_ENV, "auto").strip().lower()
+    return raw if raw in SUBSTRATES else "auto"
+
+
+def resolve_substrate(
+    substrate: Optional[str] = None, prefer_processes: bool = False
+) -> str:
+    """Resolve a requested substrate to a concrete one.
+
+    *substrate* ``None`` reads ``REPRO_EXECUTOR``; ``auto`` detects:
+    threads on free-threaded CPython (they genuinely parallelize
+    there), otherwise — for components that set *prefer_processes*,
+    i.e. can cross a process boundary — the process substrate when the
+    platform supports it and more than one CPU exists. Everything else
+    resolves to ``thread``. An explicit ``process`` request degrades to
+    ``thread`` where worker processes cannot be hosted.
+    """
+    requested = substrate if substrate is not None else substrate_from_env()
+    if requested not in SUBSTRATES:
+        raise ValueError(
+            f"unknown execution substrate {requested!r}; "
+            f"expected one of {SUBSTRATES}"
+        )
+    if requested == "auto":
+        if not gil_enabled():
+            return "thread"
+        if (
+            prefer_processes
+            and process_substrate_available()
+            and (os.cpu_count() or 1) > 1
+        ):
+            return "process"
+        return "thread"
+    if requested == "process" and not process_substrate_available():
+        return "thread"
+    return requested
+
+
 def slice_bounds(count: int, part: int, parts: int) -> Tuple[int, int]:
     """The contiguous ``[lo, hi)`` range partition *part* of *parts* owns.
 
@@ -81,19 +179,126 @@ def slice_bounds(count: int, part: int, parts: int) -> Tuple[int, int]:
     return lo, hi
 
 
+class ExecutorBackend(ABC):
+    """The pluggable fan-out substrate: run ``task(0..parts-1)``.
+
+    Implementations differ in *where* the tasks run — inline
+    (:class:`SerialExecutor`), on a shared thread pool
+    (:class:`ThreadExecutor`), or as dispatch legs to long-lived worker
+    processes (the process substrate's coordinator side, which wraps a
+    thread pool whose tasks block on worker IPC with the GIL released).
+    """
+
+    #: The substrate name this backend implements.
+    kind: str = "serial"
+
+    @property
+    @abstractmethod
+    def parallel(self) -> bool:
+        """Whether tasks handed to this backend can overlap in time."""
+
+    @abstractmethod
+    def map_partitions(
+        self, task: Callable[[int], object], parts: int
+    ) -> List[object]:
+        """Run ``task(0) .. task(parts-1)``, results in partition order."""
+
+    def close(self) -> None:
+        """Release pools/processes (idempotent; default no-op)."""
+
+
+class SerialExecutor(ExecutorBackend):
+    """The inline substrate: tasks run one after another, no pool.
+
+    Structurally identical to pre-parallelism execution — no locks, no
+    scheduling, no merge overhead — and therefore the reference any
+    other substrate's answers are pinned against.
+    """
+
+    kind = "serial"
+
+    @property
+    def parallel(self) -> bool:
+        """Always ``False`` — tasks never overlap."""
+        return False
+
+    def map_partitions(
+        self, task: Callable[[int], object], parts: int
+    ) -> List[object]:
+        """Run every partition inline, in order."""
+        return [task(part) for part in range(parts)]
+
+
+class ThreadExecutor(ExecutorBackend):
+    """The thread substrate: a lazily created, shared pool.
+
+    ``workers`` bounds the pool; excess partitions queue — which is
+    exactly the morsel-driven load balancing: a worker finishing a
+    cheap task immediately draws the next.
+    """
+
+    kind = "thread"
+
+    def __init__(self, workers: int, name_prefix: str = "repro-engine") -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._name_prefix = name_prefix
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_guard = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        """True above one worker (one worker degenerates to serial)."""
+        return self.workers > 1
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_guard:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix=self._name_prefix,
+                )
+            return self._pool
+
+    def map_partitions(
+        self, task: Callable[[int], object], parts: int
+    ) -> List[object]:
+        """Run the partitions on the pool, results in partition order."""
+        if parts <= 1 or self.workers <= 1:
+            return [task(part) for part in range(parts)]
+        return list(self._ensure_pool().map(task, range(parts)))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; safe with work in flight)."""
+        with self._pool_guard:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
 class ParallelContext:
-    """The engine's degree of parallelism plus its (lazy) thread pool.
+    """The engine's degree of parallelism plus its execution substrate.
 
     ``workers=1`` (the default, or ``REPRO_WORKERS`` unset) keeps every
     execution on the untouched serial path — no pool is ever created, no
     locks taken, no overhead paid. With ``workers>1`` pipelines are split
-    into ``workers * morsels_per_worker`` morsels executed on a shared
-    pool of ``workers`` threads.
+    into ``workers * morsels_per_worker`` morsels executed on the
+    context's :class:`ExecutorBackend`.
+
+    ``substrate`` picks that backend (default: ``REPRO_EXECUTOR``, else
+    auto-detection). Engine morsels exchange in-memory columnar batches
+    and therefore run on the ``serial`` or ``thread`` substrate; a
+    ``process`` request here resolves to ``thread`` — the process
+    substrate applies at the shard boundary, where
+    :class:`~repro.storage.sharded_backend.ShardedBackend` hosts one
+    engine worker per shard (this context then carries the *dispatch*
+    legs, whose threads block on worker IPC with the GIL released).
 
     One context is meant to be shared by everything inside one
     :class:`~repro.engine.database.MiniRDBMS`: concurrent queries submit
-    morsels to the same pool, so the machine-wide thread count stays
-    bounded by ``workers`` regardless of serving concurrency.
+    morsels to the same substrate, so the machine-wide thread count
+    stays bounded by ``workers`` regardless of serving concurrency.
     """
 
     def __init__(
@@ -101,6 +306,7 @@ class ParallelContext:
         workers: Optional[int] = None,
         morsels_per_worker: Optional[int] = None,
         morsel_size: Optional[int] = None,
+        substrate: Optional[str] = None,
     ) -> None:
         if workers is None:
             workers = _env_int(WORKERS_ENV, 1)
@@ -115,6 +321,23 @@ class ParallelContext:
         self.workers = workers
         self.morsels_per_worker = max(1, morsels_per_worker)
         self.morsel_size = max(1, morsel_size)
+        resolved = resolve_substrate(substrate, prefer_processes=False)
+        if resolved == "process":
+            # Morsels share one address space; the process substrate
+            # lives at the shard boundary. Dispatch legs are threads.
+            resolved = "thread"
+        if workers <= 1:
+            resolved = "serial"
+        #: The resolved substrate this context schedules on
+        #: (``"serial"`` or ``"thread"``).
+        self.substrate = resolved
+        self._executor: ExecutorBackend = (
+            ThreadExecutor(workers) if resolved == "thread" else SerialExecutor()
+        )
+        #: Learned per-worker efficiencies, keyed by substrate name —
+        #: a thread-mode (GIL-bound) measurement never overwrites a
+        #: process-mode one. See :meth:`learn`.
+        self.efficiency_by_substrate: Dict[str, float] = {}
         #: The factor the cost model divided per-row costs by
         #: (``CostParameters.parallel_speedup()``). The owning engine
         #: keeps it in sync; ``partitions_for`` multiplies it back so
@@ -122,18 +345,21 @@ class ParallelContext:
         #: otherwise raising the worker count would shrink estimates
         #: and self-defeat the parallelism gate.
         self.cost_discount = 1.0
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._pool_guard = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
     def parallel(self) -> bool:
         """Whether executions through this context are partitioned."""
-        return self.workers > 1
+        return self.workers > 1 and self._executor.parallel
+
+    @property
+    def executor(self) -> ExecutorBackend:
+        """The substrate tasks are scheduled on."""
+        return self._executor
 
     def partitions(self) -> int:
         """The maximum morsels one pipeline is split into."""
-        if self.workers <= 1:
+        if not self.parallel:
             return 1
         return self.workers * self.morsels_per_worker
 
@@ -149,38 +375,29 @@ class ParallelContext:
         more than the pipeline itself; larger pipelines are capped at
         :meth:`partitions` morsels.
         """
-        if self.workers <= 1:
+        if not self.parallel:
             return 1
         work = estimated_work * self.cost_discount
         by_work = int(work // self.morsel_size) + 1
         return max(1, min(self.partitions(), by_work))
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        with self._pool_guard:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers,
-                    thread_name_prefix="repro-engine",
-                )
-            return self._pool
-
     def map_partitions(
         self, task: Callable[[int], object], parts: int
     ) -> List[object]:
-        """Run ``task(0) .. task(parts-1)`` on the pool, results in order.
+        """Run ``task(0) .. task(parts-1)`` on the substrate, in order.
 
-        The pool has ``workers`` threads, so with ``parts > workers`` the
-        excess morsels queue — which is exactly the morsel-driven load
-        balancing: a worker finishing a cheap morsel immediately draws
-        the next. Exceptions propagate to the caller.
+        Exceptions propagate to the caller. With one partition (or a
+        serial substrate and excess partitions queueing pointless) the
+        tasks run inline.
         """
-        if parts <= 1 or self.workers <= 1:
+        if parts <= 1 or not self.parallel:
             return [task(part) for part in range(parts)]
-        pool = self._ensure_pool()
-        return list(pool.map(task, range(parts)))
+        return self._executor.map_partitions(task, parts)
 
     # ------------------------------------------------------------------
-    def learn(self, observed_speedup: float) -> float:
+    def learn(
+        self, observed_speedup: float, substrate: Optional[str] = None
+    ) -> float:
         """Back-solve per-worker efficiency from a measured speedup.
 
         ``observed_speedup`` is wall-clock serial time divided by
@@ -189,18 +406,23 @@ class ParallelContext:
         reproduces the observation — the value the cost model's
         parallelism discount should use (see
         :meth:`repro.engine.operators.CostParameters.parallel_speedup`).
+
+        The efficiency is recorded in :attr:`efficiency_by_substrate`
+        under *substrate* (default: this context's own substrate), so
+        measurements taken on different substrates never overwrite each
+        other — a GIL-bound thread run learning ~0 must not zero the
+        process substrate's near-linear estimate.
         """
         if self.workers <= 1:
             return 0.0
         efficiency = (observed_speedup - 1.0) / (self.workers - 1)
-        return max(0.0, min(1.0, efficiency))
+        efficiency = max(0.0, min(1.0, efficiency))
+        self.efficiency_by_substrate[substrate or self.substrate] = efficiency
+        return efficiency
 
     def close(self) -> None:
-        """Shut the pool down (idempotent; safe with work in flight)."""
-        with self._pool_guard:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        """Shut the substrate down (idempotent; safe with work in flight)."""
+        self._executor.close()
 
 
 def aggregate_worker_counters(

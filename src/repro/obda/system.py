@@ -205,7 +205,12 @@ class OBDASystem:
     co-partitioned queries scatter-gather, and everything else falls
     back to a gathered coordinator; answers are identical to the
     unsharded system at any shard count. ``shard_workers`` bounds the
-    scatter fan-out pool.
+    scatter fan-out pool. ``executor`` picks the execution substrate
+    (``"serial"`` / ``"thread"`` / ``"process"`` / ``"auto"``; default
+    ``REPRO_EXECUTOR``): on ``process``, a sharded memory/sqlite system
+    hosts each shard's engine in a long-lived forked worker and scatter
+    results return as columnar shared-memory batches — real parallelism
+    on stock CPython, with answers still byte-identical to serial.
     """
 
     def __init__(
@@ -225,6 +230,7 @@ class OBDASystem:
         query_timeout_seconds: Optional[float] = None,
         shards: Optional[int] = None,
         shard_workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> None:
         self.kb = KnowledgeBase(tbox, abox)
         #: When True, every insert_facts re-validates the disjointness
@@ -256,13 +262,19 @@ class OBDASystem:
                         ),
                         workers=shard_workers,
                         max_statement_length=DB2_STATEMENT_LIMIT,
+                        substrate=executor,
                     )
                 else:
-                    self.backend = MemoryBackend(workers=engine_workers)
+                    self.backend = MemoryBackend(
+                        workers=engine_workers, substrate=executor
+                    )
             elif backend == "sqlite":
                 if shards:
                     self.backend = ShardedBackend(
-                        shards, child="sqlite", workers=shard_workers
+                        shards,
+                        child="sqlite",
+                        workers=shard_workers,
+                        substrate=executor,
                     )
                 else:
                     self.backend = SQLiteBackend()
@@ -975,6 +987,9 @@ class OBDASystem:
             "queries": len(queries),
             "wall_seconds": time.perf_counter() - started,
             "admission": admission.stats(),
+            #: The storage-side execution substrate this batch ran on
+            #: ("inproc" for plain unsharded backends).
+            "substrate": getattr(self.backend, "substrate", "inproc"),
         }
         if shards_before is not None:
             # Route counters this batch moved (approximate under racing
@@ -985,6 +1000,11 @@ class OBDASystem:
                 **{
                     key: shards_after[key] - shards_before[key]
                     for key in ("executions", "pruned", "scatter", "gather")
+                },
+                **{
+                    key: shards_after[key] - shards_before.get(key, 0)
+                    for key in ("shm_results", "shm_bytes", "inline_results")
+                    if key in shards_after
                 },
             }
         return reports

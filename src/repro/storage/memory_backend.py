@@ -9,7 +9,7 @@ queries exceed, reproducing the paper's §6.3 failures.
 from __future__ import annotations
 
 import threading
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.engine.database import DB2_STATEMENT_LIMIT, MiniRDBMS
 from repro.engine.operators import CostParameters, DEFAULT_COSTS
@@ -33,11 +33,13 @@ class MemoryBackend(Backend):
         max_statement_length: int = DB2_STATEMENT_LIMIT,
         cost_parameters: CostParameters = DEFAULT_COSTS,
         workers: Optional[int] = None,
+        substrate: Optional[str] = None,
     ) -> None:
         self.db = MiniRDBMS(
             max_statement_length=max_statement_length,
             cost_parameters=cost_parameters,
             workers=workers,
+            substrate=substrate,
         )
         self._lock = threading.RLock()
 
@@ -79,6 +81,13 @@ class MemoryBackend(Backend):
         """Evaluate *sql* on the embedded engine; returns result rows."""
         with self._lock:
             return self.db.execute(sql)
+
+    def execute_columns(self, sql: str) -> Tuple[int, List[List]]:
+        """Evaluate *sql* returning ``(nrows, column vectors)`` — the
+        engine's columnar result path (shard worker processes use this
+        to feed the shared-memory wire format without row tuples)."""
+        with self._lock:
+            return self.db.execute_columns(sql)
 
     def estimated_cost(self, sql: str) -> float:
         """The engine's own EXPLAIN cost estimate for *sql*."""

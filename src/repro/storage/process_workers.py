@@ -1,0 +1,409 @@
+"""Long-lived per-shard engine worker processes (the process substrate).
+
+:class:`ProcessShardWorker` hosts one child backend in its own forked
+interpreter and exposes the full :class:`~repro.storage.base.Backend`
+surface as a pipe-RPC proxy, so :class:`~repro.storage.sharded_backend.
+ShardedBackend` can own a list of these exactly as it owns in-process
+children — routing, merge semantics and the write barrier are unchanged;
+only the substrate under each shard moves across a process boundary.
+
+Lifecycle
+---------
+Workers are forked at construction (the ``fork`` start method keeps
+startup at milliseconds and lets arbitrary ``child_factory`` callables
+cross without pickling — the backend itself is built *inside* the
+worker, never shipped), run a strict request/reply loop, and live until
+:meth:`ProcessShardWorker.close` — which sends ``close``, joins, and
+escalates to ``terminate`` only if the worker does not exit in time.
+Workers are daemonic and additionally registered with an ``atexit``
+backstop, so an interpreter that forgets to close a backend still never
+hangs at exit or leaks shared memory: segments are created and unlinked
+only in the coordinator process (see :mod:`repro.storage.shm_exchange`),
+and the parent's ``resource_tracker`` is started *before* the first
+fork so every worker shares it.
+
+Result transport
+----------------
+``execute`` replies inline (one pickle) for small results; larger ones
+use the shared-memory handshake: the worker offers ``(nbytes, meta)``,
+the coordinator creates a segment and replies with its name, the worker
+attaches, writes the packed columns, closes, and acks — after which the
+coordinator decodes rows out of the segment and unlinks it. Errors are
+pre-checked for picklability in the worker (falling back to a
+``RuntimeError`` carrying the repr), so a failing shard surfaces the
+real exception type at the coordinator whenever it can cross the wire.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.storage.base import Backend, Row
+from repro.storage.layouts import LayoutData
+from repro.storage.shm_exchange import (
+    pack_columns,
+    should_inline,
+    shm_min_cells,
+    unpack_rows,
+)
+
+#: How long ``close`` waits for a worker to exit before terminating it.
+CLOSE_TIMEOUT = 5.0
+
+#: Live workers, for the atexit backstop (weak: a collected proxy has
+#: already closed or leaked its process, and its daemon flag covers us).
+_LIVE_WORKERS: "weakref.WeakSet[ProcessShardWorker]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+_ATEXIT_LOCK = threading.Lock()
+
+
+def _close_live_workers() -> None:
+    """atexit backstop: close any worker a caller forgot to."""
+    for worker in list(_LIVE_WORKERS):
+        try:
+            worker.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def _register_atexit() -> None:
+    global _ATEXIT_REGISTERED
+    with _ATEXIT_LOCK:
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_live_workers)
+            _ATEXIT_REGISTERED = True
+
+
+def _sendable(exc: BaseException) -> BaseException:
+    """The exception itself if it survives a pickle round-trip, else a
+    ``RuntimeError`` carrying its repr (default ``Exception`` pickling
+    breaks on custom ``__init__`` signatures)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _serve_execute(conn, backend: Backend, sql: str, min_cells: int) -> None:
+    """Worker side of one ``execute``: inline reply or shm handshake.
+
+    Backends exposing ``execute_columns`` (the embedded engine does)
+    answer columnar end to end — result vectors go straight into the
+    wire format without ever materializing row tuples in the worker.
+    """
+    columns_api = getattr(backend, "execute_columns", None)
+    if columns_api is not None:
+        nrows, columns = columns_api(sql)
+    else:
+        result_rows = backend.execute(sql)
+        nrows = len(result_rows)
+        columns = list(zip(*result_rows)) if result_rows else []
+    execution = getattr(backend, "last_execution", None)
+    batches = getattr(execution, "batches", 0) if execution is not None else 0
+    if not nrows or should_inline(nrows, len(columns), min_cells):
+        conn.send(("rows", (list(zip(*columns)) if nrows else [], batches)))
+        return
+    meta, payload = pack_columns(nrows, columns)
+    conn.send(("shm", (len(payload), meta, batches)))
+    tag, name = conn.recv()
+    if tag != "segment":  # coordinator aborted (e.g. allocation failed)
+        return
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        segment.buf[: len(payload)] = payload
+    finally:
+        segment.close()
+    conn.send(("ok", None))
+
+
+def _worker_main(conn, factory: Callable[[], Backend]) -> None:
+    """The worker process: build the backend, serve the request loop."""
+    try:
+        backend = factory()
+    except BaseException as exc:
+        try:
+            conn.send(("error", _sendable(exc)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", getattr(backend, "name", "backend")))
+    min_cells = shm_min_cells()
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if cmd == "close":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            if cmd == "execute":
+                _serve_execute(conn, backend, payload, min_cells)
+            elif cmd == "load":
+                backend.load(payload)
+                conn.send(("ok", None))
+            elif cmd == "insert":
+                backend.insert_rows(payload[0], payload[1])
+                conn.send(("ok", None))
+            elif cmd == "delete":
+                conn.send(("ok", backend.delete_rows(payload[0], payload[1])))
+            elif cmd == "apply":
+                backend.apply_changes(payload[0], payload[1])
+                conn.send(("ok", None))
+            elif cmd == "stats":
+                conn.send(
+                    ("ok", {n: backend.table_statistics(n) for n in payload})
+                )
+            elif cmd == "cost":
+                conn.send(("ok", backend.estimated_cost(payload)))
+            elif cmd == "explain":
+                explain = getattr(backend, "explain_text", None)
+                conn.send(("ok", explain(payload) if explain else ""))
+            elif cmd == "describe":
+                hosted_db = getattr(backend, "db", None)
+                conn.send(
+                    ("ok", {"workers": getattr(hosted_db, "workers", None)})
+                )
+            else:
+                conn.send(("error", RuntimeError(f"unknown command {cmd!r}")))
+        except BaseException as exc:
+            try:
+                conn.send(("error", _sendable(exc)))
+            except (BrokenPipeError, OSError):
+                break
+    try:
+        backend.close()
+    finally:
+        conn.close()
+
+
+@dataclass
+class WorkerEngineInfo:
+    """A snapshot of the worker-hosted engine's configuration, shaped
+    like the ``db`` attribute in-process children expose (so callers
+    that introspect ``child.db.workers`` work across the substrate)."""
+
+    workers: Optional[int] = None
+
+
+@dataclass
+class WorkerExecution:
+    """Telemetry from one proxied execute (duck-compatible with the
+    ``batches``/``rows`` attributes ShardedBackend reads)."""
+
+    batches: int = 0
+    rows: int = 0
+    #: ``"inline"`` (pipe pickle) or ``"shm"`` (columnar segment).
+    transport: str = "inline"
+
+
+def process_workers_supported() -> bool:
+    """Whether this platform can host forked shard workers."""
+    from repro.engine.parallel import process_substrate_available
+
+    return process_substrate_available()
+
+
+class ProcessShardWorker(Backend):
+    """One shard's engine, hosted in a forked worker process.
+
+    Implements the :class:`~repro.storage.base.Backend` surface by
+    strict request/reply RPC over a private pipe (one lock per worker
+    serializes calls; different workers' calls overlap freely — that is
+    exactly the scatter parallelism). The child backend is built inside
+    the worker by *factory*, so its tables never exist in the
+    coordinator's address space.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Backend],
+        shard: int = 0,
+        label: str = "shard",
+    ) -> None:
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        ctx = multiprocessing.get_context("fork")
+        # Start the resource tracker *before* forking so every worker
+        # inherits it: segment register/unregister messages from both
+        # sides then land in one tracker, and coordinator-side unlink
+        # leaves nothing for exit-time leak warnings to find.
+        resource_tracker.ensure_running()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, factory),
+            daemon=True,
+            name=f"repro-{label}-{shard}",
+        )
+        self._process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._lock = threading.Lock()
+        self._closed = False
+        self.shard = shard
+        self.last_execution: Optional[WorkerExecution] = None
+        #: Cumulative transport counters (merged into shard telemetry).
+        self.shm_results = 0
+        self.shm_bytes = 0
+        self.inline_results = 0
+        tag, value = self._recv()
+        if tag != "ok":  # factory failed inside the worker
+            self._abandon()
+            raise value
+        self.name = f"worker[{value}]"
+        _register_atexit()
+        _LIVE_WORKERS.add(self)
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+    def _recv(self):
+        reply = self._conn.recv()
+        if reply[0] == "error":
+            raise reply[1]
+        return reply
+
+    def _call(self, cmd: str, payload=None):
+        if self._closed:
+            raise RuntimeError("ProcessShardWorker is closed")
+        with self._lock:
+            self._conn.send((cmd, payload))
+            tag, value = self._recv()
+        if tag != "ok":  # pragma: no cover - protocol violation
+            raise RuntimeError(f"unexpected worker reply {tag!r}")
+        return value
+
+    # ------------------------------------------------------------------
+    # Backend surface
+    # ------------------------------------------------------------------
+    def load(self, data: LayoutData) -> None:
+        """Ship the shard's slice of the layout into the worker."""
+        self._call("load", data)
+
+    def execute(self, sql: str) -> List[Row]:
+        """Evaluate *sql* in the worker; decode the columnar reply."""
+        if self._closed:
+            raise RuntimeError("ProcessShardWorker is closed")
+        with self._lock:
+            self._conn.send(("execute", sql))
+            tag, payload = self._recv()
+            if tag == "rows":
+                rows, batches = payload
+                transport = "inline"
+                self.inline_results += 1
+            elif tag == "shm":
+                nbytes, meta, batches = payload
+                from multiprocessing import shared_memory
+
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, nbytes)
+                )
+                try:
+                    self._conn.send(("segment", segment.name))
+                    self._recv()  # worker's write ack (or raised error)
+                    rows = unpack_rows(segment.buf, meta)
+                finally:
+                    segment.close()
+                    segment.unlink()
+                transport = "shm"
+                self.shm_results += 1
+                self.shm_bytes += nbytes
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unexpected worker reply {tag!r}")
+        self.last_execution = WorkerExecution(
+            batches=batches, rows=len(rows), transport=transport
+        )
+        return rows
+
+    @property
+    def db(self) -> WorkerEngineInfo:
+        """Engine configuration of the hosted backend, fetched live."""
+        return WorkerEngineInfo(**self._call("describe"))
+
+    def estimated_cost(self, sql: str) -> float:
+        """The hosted backend's own cost estimate for *sql*."""
+        return self._call("cost", sql)
+
+    def explain_text(self, sql: str) -> str:
+        """The hosted backend's EXPLAIN rendering."""
+        return self._call("explain", sql)
+
+    def insert_rows(self, table: str, rows: List[Row]) -> None:
+        """Replicate an insert into the worker (set semantics)."""
+        self._call("insert", (table, rows))
+
+    def delete_rows(self, table: str, rows: List[Row]) -> int:
+        """Replicate a delete into the worker; removed-row count back."""
+        return self._call("delete", (table, rows))
+
+    def apply_changes(self, inserts, deletes) -> None:
+        """Replicate a multi-table delta atomically inside the worker."""
+        self._call("apply", (inserts, deletes))
+
+    def table_statistics(self, table: str):
+        """The worker's catalog statistics for one table."""
+        return self._call("stats", [table])[table]
+
+    def statistics_many(self, tables) -> Dict[str, object]:
+        """Statistics for many tables in one round-trip (the sharded
+        post-write re-merge batches through this)."""
+        return self._call("stats", list(tables))
+
+    # ------------------------------------------------------------------
+    def _abandon(self) -> None:
+        """Tear down without the close handshake (startup failure)."""
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._process.join(timeout=CLOSE_TIMEOUT)
+        if self._process.is_alive():  # pragma: no cover
+            self._process.terminate()
+            self._process.join(timeout=1.0)
+        self._process.close()
+
+    def close(self) -> None:
+        """Stop the worker deterministically. Idempotent.
+
+        Sends ``close`` and joins; a worker that fails to exit within
+        :data:`CLOSE_TIMEOUT` is terminated. Safe to call from atexit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._lock:
+                self._conn.send(("close", None))
+                try:
+                    self._conn.recv()
+                except EOFError:
+                    pass
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=CLOSE_TIMEOUT)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=1.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        #: The worker's exit code (0 for a clean shutdown), kept past
+        #: the process handle's release.
+        self.exit_code = self._process.exitcode
+        self._process.close()
+        _LIVE_WORKERS.discard(self)

@@ -24,10 +24,26 @@ statements):
   database.MiniRDBMS` (cached until the next write to those tables) and
   the statement executes there.
 
+The **execution substrate** under the shards is pluggable
+(``substrate`` argument / ``REPRO_EXECUTOR``): with ``serial`` or
+``thread`` every child lives in the coordinator process and fan-out
+runs inline or on the thread pool; with ``process`` each child is
+hosted by a long-lived forked worker
+(:class:`~repro.storage.process_workers.ProcessShardWorker`) and
+scatter legs are dispatch threads blocking on worker IPC with the GIL
+released — shard pipelines then truly run in parallel on stock
+CPython, and results return as dictionary-encoded columnar batches
+over shared memory (:mod:`repro.storage.shm_exchange`) instead of
+per-row pickles. ``auto`` prefers ``process`` exactly when it pays:
+stock-GIL CPython on a multi-core box.
+
 Writes route per shard: ``apply_changes`` splits each table's delta by
 the shard key and applies every child's slice under one exclusive
 read/write barrier, so a concurrently executing query observes either
-the full pre-write or the full post-write state across *all* shards.
+the full pre-write or the full post-write state across *all* shards
+(on the process substrate the deltas replicate into the shard workers
+under the same barrier hold, so worker state tracks the epoch protocol
+exactly).
 After every write the per-shard catalog statistics are re-merged
 (:meth:`repro.engine.catalog.TableStats.merged`) into the coordinator's
 planner catalog, which prices the gather fallback; pruned probes and
@@ -47,13 +63,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.engine.catalog import TableStats
 from repro.engine.database import MiniRDBMS
 from repro.engine.errors import StatementTooLongError, UnknownTableError
-from repro.engine.parallel import ParallelContext
+from repro.engine.parallel import ParallelContext, resolve_substrate
 from repro.engine.planner import ShardRoute, analyze_shard_route
 from repro.engine.sqlparser import parse_sql
 from repro.serving.concurrency import ReadWriteBarrier
 from repro.storage.base import Backend, Row
 from repro.storage.layouts import LayoutData, TableSpec
 from repro.storage.memory_backend import MemoryBackend
+from repro.storage.process_workers import ProcessShardWorker
 from repro.storage.sqlite_backend import SQLiteBackend
 
 #: Environment knob: thread count for scatter/gather fan-out (default:
@@ -88,6 +105,8 @@ class ShardExecutionStats:
     with :class:`repro.engine.executor.ExecutionStats` consumers)."""
 
     route: str = "scatter"
+    #: The execution substrate the shards ran on.
+    substrate: str = "thread"
     shards_touched: Tuple[int, ...] = ()
     shard_count: int = 1
     rows: int = 0
@@ -99,13 +118,18 @@ class ShardExecutionStats:
     per_shard: List[Dict] = field(default_factory=list)
 
 
-def _env_workers(shards: int) -> int:
+def _env_workers(shards: int, substrate: str = "thread") -> int:
     raw = os.environ.get(SHARD_WORKERS_ENV)
     if raw is not None:
         try:
             return max(1, int(raw))
         except ValueError:
             pass
+    if substrate == "process":
+        # Dispatch threads only block on worker IPC (GIL released in
+        # recv), so give every shard its own — capping at the CPU count
+        # would idle workers behind the dispatch pool.
+        return max(1, shards)
     return max(1, min(shards, os.cpu_count() or 1))
 
 
@@ -114,9 +138,14 @@ class ShardedBackend(Backend):
 
     ``child`` names the child kind (``"memory"`` or ``"sqlite"``);
     ``child_factory`` overrides it with a zero-argument callable for
-    custom children. ``workers`` bounds the scatter/gather thread pool
-    (default ``REPRO_SHARD_WORKERS``, else one thread per shard capped
-    at the CPU count; 1 keeps fan-out sequential).
+    custom children. ``workers`` bounds the scatter/gather fan-out pool
+    (default ``REPRO_SHARD_WORKERS``, else one thread per shard —
+    capped at the CPU count on the thread substrate; 1 keeps fan-out
+    sequential). ``substrate`` picks where the children live: in-process
+    (``"serial"`` / ``"thread"``) or one forked worker process per
+    shard (``"process"``); default ``REPRO_EXECUTOR``, else
+    auto-detection (see :func:`repro.engine.parallel.
+    resolve_substrate`).
     """
 
     def __init__(
@@ -127,6 +156,7 @@ class ShardedBackend(Backend):
         workers: Optional[int] = None,
         max_statement_length: Optional[int] = None,
         cost_parameters: ShardCostParameters = DEFAULT_SHARD_COSTS,
+        substrate: Optional[str] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -142,12 +172,26 @@ class ShardedBackend(Backend):
 
                 max_statement_length = DB2_STATEMENT_LIMIT
         self.shards = shards
-        self.children: List[Backend] = [child_factory() for _ in range(shards)]
+        #: The resolved execution substrate under the shards.
+        self.substrate = resolve_substrate(substrate, prefer_processes=True)
+        if self.substrate == "process":
+            # One long-lived forked engine worker per shard; the child
+            # backend is built *inside* its worker, never coordinator-
+            # side, so shard tables live only in worker memory.
+            self.children: List[Backend] = [
+                ProcessShardWorker(child_factory, shard)
+                for shard in range(shards)
+            ]
+        else:
+            self.children = [child_factory() for _ in range(shards)]
         self.name = f"sharded[{shards}x{self.children[0].name}]"
         self.max_statement_length = max_statement_length
         self.cost_parameters = cost_parameters
         self._parallel = ParallelContext(
-            workers if workers is not None else _env_workers(shards)
+            workers
+            if workers is not None
+            else _env_workers(shards, self.substrate),
+            substrate="serial" if self.substrate == "serial" else "thread",
         )
         #: Coordinator engine: full schema + merged statistics always;
         #: gathered row copies only on demand (cross-shard joins).
@@ -312,10 +356,22 @@ class ShardedBackend(Backend):
     def _after_write_locked(self, tables: Sequence[str]) -> None:
         """Post-write bookkeeping (coordinator lock held): bump table
         versions (staling gathered copies) and re-merge the per-shard
-        statistics into the coordinator's planner catalog."""
+        statistics into the coordinator's planner catalog. Children
+        exposing ``statistics_many`` (process-substrate workers) are
+        asked once per write, not once per table — one RPC round-trip
+        instead of ``len(tables)``."""
+        per_child: List[Optional[Dict[str, TableStats]]] = []
+        for child in self.children:
+            many = getattr(child, "statistics_many", None)
+            per_child.append(many(tables) if many is not None else None)
         for name in tables:
             self._table_versions[name] = self._table_versions.get(name, 0) + 1
-            parts = [child.table_statistics(name) for child in self.children]
+            parts = [
+                batch[name]
+                if batch is not None
+                else child.table_statistics(name)
+                for batch, child in zip(per_child, self.children)
+            ]
             if all(part is not None for part in parts):
                 self._coordinator.catalog.set_statistics(
                     name, TableStats.merged(parts)
@@ -384,6 +440,7 @@ class ShardedBackend(Backend):
             else:
                 rows, stats = self._execute_shards(sql, route)
         stats.shard_count = self.shards
+        stats.substrate = self.substrate
         self.last_execution = stats
         with self._telemetry_lock:
             self._counters["executions"] += 1
@@ -552,10 +609,22 @@ class ShardedBackend(Backend):
         return self._coordinator.catalog.statistics(table)
 
     def shard_telemetry(self) -> Dict[str, int]:
-        """Cumulative route counters (plus the shard count)."""
+        """Cumulative route counters (plus the shard count; on the
+        process substrate, also the shared-memory exchange counters
+        summed over the workers)."""
         with self._telemetry_lock:
             snapshot = dict(self._counters)
         snapshot["shards"] = self.shards
+        if self.substrate == "process":
+            snapshot["shm_results"] = sum(
+                getattr(child, "shm_results", 0) for child in self.children
+            )
+            snapshot["shm_bytes"] = sum(
+                getattr(child, "shm_bytes", 0) for child in self.children
+            )
+            snapshot["inline_results"] = sum(
+                getattr(child, "inline_results", 0) for child in self.children
+            )
         return snapshot
 
     # ------------------------------------------------------------------

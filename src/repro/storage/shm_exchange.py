@@ -1,0 +1,141 @@
+"""Columnar shared-memory exchange for the process substrate.
+
+Shard worker processes return query results to the coordinator. Small
+results travel inline over the worker's pipe (one pickle of the row
+list); larger ones move as **dictionary-encoded columnar batches over**
+:mod:`multiprocessing.shared_memory` — the stored data is int-coded
+(see :mod:`repro.storage.dictionary`), so a result column is typically
+a flat ``int64`` vector that crosses the process boundary as one
+``memcpy``-style buffer write instead of a per-row pickle graph.
+
+Wire format
+-----------
+A result of ``nrows`` rows is transposed into per-column vectors. Each
+column is packed independently:
+
+* ``i64`` — every cell is a machine-size int: ``array('q')`` bytes,
+  fixed ``8 * nrows`` length. The common case for dictionary codes.
+* ``pkl`` — anything else (``None`` cells from the RDF layout's sparse
+  wide rows, oversized ints, strings): one pickle of the cell list.
+
+The segment payload is the columns' byte strings concatenated; the
+*meta* header (sent over the pipe, tiny) records ``nrows`` plus each
+column's ``(kind, nbytes)`` so the coordinator can slice the buffer
+back apart without scanning it.
+
+Ownership
+---------
+The **coordinator creates and unlinks every segment**; the worker only
+attaches, writes, and closes (see :mod:`repro.storage.process_workers`
+for the handshake). Keeping create+unlink in one process means one
+``resource_tracker`` registers and unregisters each name — no leaked-
+segment warnings at interpreter exit, even under ``pytest -W error``.
+
+``REPRO_SHM_MIN_CELLS`` tunes the inline/shm crossover: results with
+fewer than this many cells (rows × columns) stay on the pipe, where
+one small pickle beats a segment round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from array import array
+from typing import List, Sequence, Tuple
+
+#: Environment knob: minimum result cells (rows × columns) before a
+#: worker result moves over shared memory instead of inline pickling.
+SHM_MIN_CELLS_ENV = "REPRO_SHM_MIN_CELLS"
+
+#: Default inline/shm crossover. Below ~4k cells the pipe pickle is
+#: already a few microseconds; the segment handshake only pays off
+#: above it.
+DEFAULT_SHM_MIN_CELLS = 4096
+
+#: Column kinds: fixed-width int64 vector, or a pickled cell list.
+KIND_I64 = "i64"
+KIND_PICKLE = "pkl"
+
+#: One packed column: ``(kind, nbytes)``.
+ColumnMeta = Tuple[str, int]
+
+#: A packed result: ``(nrows, column metas)``.
+ResultMeta = Tuple[int, Tuple[ColumnMeta, ...]]
+
+
+def shm_min_cells() -> int:
+    """The configured inline/shm crossover (``REPRO_SHM_MIN_CELLS``)."""
+    raw = os.environ.get(SHM_MIN_CELLS_ENV)
+    if raw is None:
+        return DEFAULT_SHM_MIN_CELLS
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_SHM_MIN_CELLS
+
+
+def should_inline(nrows: int, ncols: int, min_cells: int) -> bool:
+    """Whether a result is small enough to stay on the pipe."""
+    return nrows * ncols < max(1, min_cells)
+
+
+def _pack_column(cells: Sequence) -> Tuple[str, bytes]:
+    """Pack one column: ``i64`` vector when possible, else pickle."""
+    try:
+        return KIND_I64, array("q", cells).tobytes()
+    except (TypeError, ValueError, OverflowError):
+        return KIND_PICKLE, pickle.dumps(
+            list(cells), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+
+def pack_columns(
+    nrows: int, columns: Sequence[Sequence]
+) -> Tuple[ResultMeta, bytes]:
+    """Pack already-transposed column vectors into the wire format.
+
+    Returns ``(meta, payload)`` where *meta* travels over the pipe and
+    *payload* is the bytes the worker writes into the coordinator's
+    segment.
+    """
+    metas: List[ColumnMeta] = []
+    parts: List[bytes] = []
+    for cells in columns:
+        kind, blob = _pack_column(cells)
+        metas.append((kind, len(blob)))
+        parts.append(blob)
+    return (nrows, tuple(metas)), b"".join(parts)
+
+
+def pack_rows(rows: Sequence[Tuple]) -> Tuple[ResultMeta, bytes]:
+    """Transpose *rows* into the columnar wire format (see
+    :func:`pack_columns`). *rows* must be non-empty and rectangular
+    (SQL results are)."""
+    return pack_columns(len(rows), list(zip(*rows)))
+
+
+def unpack_rows(buffer, meta: ResultMeta) -> List[Tuple]:
+    """Rebuild row tuples from a packed payload.
+
+    *buffer* is any bytes-like (a ``SharedMemory.buf`` memoryview or a
+    ``bytes`` copy); cells are copied out, so the caller may unlink the
+    segment as soon as this returns.
+    """
+    nrows, column_metas = meta
+    columns: List[Sequence] = []
+    offset = 0
+    for kind, nbytes in column_metas:
+        blob = bytes(buffer[offset : offset + nbytes])
+        offset += nbytes
+        if kind == KIND_I64:
+            vector = array("q")
+            vector.frombytes(blob)
+            cells: Sequence = vector.tolist()
+        else:
+            cells = pickle.loads(blob)
+        if len(cells) != nrows:
+            raise ValueError(
+                f"corrupt shm column: {len(cells)} cells for {nrows} rows"
+            )
+        columns.append(cells)
+    return list(zip(*columns))

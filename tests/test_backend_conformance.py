@@ -18,6 +18,7 @@ from backend_conformance import (
     check_random_write_churn,
     clone_abox,
 )
+from repro.engine.parallel import process_substrate_available
 from repro.obda.system import OBDASystem
 from repro.storage.layouts import RDFLayout, SimpleLayout
 from repro.storage.memory_backend import MemoryBackend
@@ -36,6 +37,18 @@ BACKENDS = {
         MemoryBackend,
     ),
 }
+
+if process_substrate_available():
+    # Process-substrate legs: each shard lives in its own worker
+    # process and answers return over shared-memory columnar exchange.
+    BACKENDS["sharded-memory-2-process"] = (
+        lambda: ShardedBackend(2, substrate="process"),
+        SQLiteBackend,
+    )
+    BACKENDS["sharded-sqlite-2-process"] = (
+        lambda: ShardedBackend(2, child="sqlite", substrate="process"),
+        MemoryBackend,
+    )
 
 LAYOUTS = {
     "simple": SimpleLayout,

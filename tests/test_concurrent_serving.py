@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.dllite.abox import ABox
+from repro.engine.parallel import process_substrate_available
 from repro.obda.system import OBDASystem
 from repro.serving.concurrency import (
     AdmissionController,
@@ -132,6 +133,75 @@ def test_stress_concurrent_reads_and_writes_match_an_epoch(
         assert (
             subject.answer(QUERY, strategy=strategy).answers
             == valid_states[-1]
+        )
+        subject.close()
+
+
+@pytest.mark.skipif(
+    not process_substrate_available(),
+    reason="fork start method unavailable",
+)
+@pytest.mark.parametrize("seed", range(2))
+def test_stress_sharded_process_reads_and_writes_match_an_epoch(
+    example1_tbox, seed
+):
+    """The epoch property over the process substrate: every answer a
+    sharded system with per-shard worker processes serves concurrently
+    with writes equals the sequential oracle at some prefix of the
+    write script — writes must replicate into the shard workers under
+    the same barrier hold the in-process substrate uses."""
+    rng = random.Random(1000 + seed)
+    for round_no in range(8):
+        script = _write_script(rng, round_no)
+
+        oracle = OBDASystem(example1_tbox, _base_abox())
+        valid_states = [oracle.answer(QUERY, strategy="ucq").answers]
+        for op, batch in script:
+            _apply(oracle, op, batch)
+            valid_states.append(oracle.answer(QUERY, strategy="ucq").answers)
+        oracle.close()
+
+        subject = OBDASystem(
+            example1_tbox, _base_abox(), shards=2, executor="process"
+        )
+        assert subject.backend.substrate == "process"
+        observed = []
+        failures = []
+
+        def read(n_batches: int = 3) -> None:
+            try:
+                for _ in range(n_batches):
+                    reports = subject.answer_many(
+                        [QUERY, QUERY], strategy="ucq", max_workers=2
+                    )
+                    observed.extend(report.answers for report in reports)
+            except Exception as exc:
+                failures.append(exc)
+
+        def write() -> None:
+            try:
+                for op, batch in script:
+                    _apply(subject, op, batch)
+            except Exception as exc:
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=read),
+            threading.Thread(target=read),
+            threading.Thread(target=write),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        for answers in observed:
+            assert answers in valid_states, (
+                f"round {round_no}: torn answers {answers!r} "
+                f"not one of {len(valid_states)} epochs"
+            )
+        assert (
+            subject.answer(QUERY, strategy="ucq").answers == valid_states[-1]
         )
         subject.close()
 
