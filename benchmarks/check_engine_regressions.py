@@ -70,6 +70,24 @@ def check(path: str) -> int:
     extras = report.get("extras", {})
     for name, payload in sorted(extras.items()):
         print(f"  extras.{name}: {payload}")
+        if (
+            name == "obs_overhead"
+            and isinstance(payload, dict)
+            and payload.get("overhead_asserted")
+        ):
+            fraction = payload.get("disabled_overhead_fraction", 0.0)
+            ceiling = payload.get("ceiling", 0.05)
+            marker = "ok" if fraction < ceiling else "REGRESSION"
+            print(
+                f"    disabled-tracing overhead: {fraction:.1%} "
+                f"(ceiling {ceiling:.0%}) {marker}"
+            )
+            if fraction >= ceiling:
+                failures.append(
+                    f"extras.{name}: disabled-tracing overhead {fraction:.1%} "
+                    f"at or above the {ceiling:.0%} ceiling"
+                )
+            continue
         if not (name.startswith("parallel_") or name.startswith("process_")):
             continue
         if not isinstance(payload, dict) or "speedup_4w_vs_1w" not in payload:

@@ -1,0 +1,133 @@
+"""Tracing overhead: the disabled path must cost under 5% per query.
+
+The observability contract (docs/OBSERVABILITY.md) is that **disabled**
+tracing — the production default — adds under 5% to query latency. The
+stack is instrumented unconditionally, so the off path is a fixed set
+of :data:`~repro.obs.trace.NO_SPAN` operations per answer: contextvar
+reads, no-op ``child``/``set`` calls, ``enabled`` guards and no-op
+``activate`` context managers.
+
+This benchmark prices that contract from two directions:
+
+* **enabled vs. disabled wall clock** (warm min-of-3 over a 40-answer
+  batch): the same workload answered with ``trace=True`` and
+  ``trace=False``. The ratio is the cost of *enabled* tracing —
+  recorded for information (building a span tree is allowed to cost
+  real time; it is opt-in).
+* **disabled instrumentation microbenchmark**: the off path cannot be
+  compared against an uninstrumented build, so its cost is measured
+  directly — time a generous overcount of the per-answer NO_SPAN
+  operations and express it as a fraction of the measured untraced
+  per-answer latency. This is the number the <5% contract (and the
+  ``check_engine_regressions.py`` gate) applies to.
+
+Both land in ``BENCH_engine.json`` under ``extras.obs_overhead``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obda.system import OBDASystem
+from repro.obs.trace import NO_SPAN, activate, current_span
+
+TIMING_ROUNDS = 3
+
+#: Answers per timed round — one answer is ~100µs; a batch keeps the
+#: measurement comfortably above timer resolution.
+ANSWERS_PER_ROUND = 40
+
+#: Ceiling on the disabled-path overhead fraction (0.05 = the 5%
+#: contract). Asserted here and re-checked by the regression gate.
+DISABLED_OVERHEAD_CEILING = 0.05
+
+#: Per-answer NO_SPAN operation budget priced by the microbenchmark. A
+#: traced answer opens ~12 spans; the disabled path touches roughly one
+#: contextvar read plus one no-op call per span site. 40 is a generous
+#: overcount (sharded scatter adds one site per shard).
+NOOP_OPS_PER_ANSWER = 40
+
+#: Instrumentation points exercised by one microbenchmark loop body:
+#: a contextvar read, a no-op ``child``, an ``enabled`` guard and an
+#: ``activate`` enter/exit.
+OPS_PER_LOOP_BODY = 5
+
+
+def _time_answers(system, queries):
+    best = None
+    for _ in range(TIMING_ROUNDS):
+        started = time.perf_counter()
+        for query in queries:
+            system.answer(query)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _noop_op_seconds(iterations: int = 200_000) -> float:
+    """Measured cost of one disabled instrumentation point (min-of-3).
+
+    The loop body exercises :data:`OPS_PER_LOOP_BODY` points; the
+    per-point cost is the per-iteration time divided by that.
+    """
+    best = None
+    for _ in range(TIMING_ROUNDS):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            span = current_span()
+            child = span.child("x")
+            if child.enabled:  # pragma: no cover - disabled path
+                child.set(rows=1)
+            with activate(child):
+                pass
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    assert current_span() is NO_SPAN
+    return best / iterations / OPS_PER_LOOP_BODY
+
+
+def test_tracing_overhead(tbox, abox_15m, engine_report):
+    """Price the disabled instrumentation path against the 5% contract
+    and record the enabled-tracing ratio for information."""
+    queries = [
+        "q(x) <- worksFor(x, y)",
+        "q(x) <- Professor(x)",
+        "q(x, y) <- advisor(x, y)",
+        "q(x) <- teacherOf(x, y)",
+    ] * (ANSWERS_PER_ROUND // 4)
+
+    def build(trace):
+        system = OBDASystem(tbox, abox_15m, trace=trace)
+        for query in queries[:4]:
+            system.answer(query)  # warm plan cache + engine
+        return system
+
+    with build(trace=False) as off, build(trace=True) as on:
+        off_wall = _time_answers(off, queries)
+        on_wall = _time_answers(on, queries)
+        assert off.answer(queries[0]).trace is None
+        assert on.answer(queries[0]).trace is not None
+
+    per_answer_untraced = off_wall / len(queries)
+    disabled_cost = _noop_op_seconds() * NOOP_OPS_PER_ANSWER
+    disabled_overhead = disabled_cost / max(per_answer_untraced, 1e-12)
+    enabled_ratio = on_wall / max(off_wall, 1e-9)
+    engine_report.extra(
+        "obs_overhead",
+        {
+            "answers_per_round": len(queries),
+            "timing_rounds": TIMING_ROUNDS,
+            "wall_s_untraced": round(off_wall, 5),
+            "wall_s_traced": round(on_wall, 5),
+            "per_answer_untraced_us": round(per_answer_untraced * 1e6, 2),
+            "disabled_cost_us": round(disabled_cost * 1e6, 3),
+            "disabled_overhead_fraction": round(disabled_overhead, 5),
+            "enabled_overhead_ratio": round(enabled_ratio, 4),
+            "ceiling": DISABLED_OVERHEAD_CEILING,
+            "overhead_asserted": True,
+        },
+    )
+    assert disabled_overhead < DISABLED_OVERHEAD_CEILING, (
+        f"disabled instrumentation costs {disabled_overhead:.1%} of an "
+        f"untraced answer (ceiling {DISABLED_OVERHEAD_CEILING:.0%})"
+    )

@@ -8,6 +8,7 @@ simply cannot be evaluated (§6.3).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -17,9 +18,14 @@ from repro.engine.errors import StatementTooLongError
 from repro.engine.executor import (
     ExecutionStats,
     execute_plan,
+    execute_plan_analyzed,
     execute_plan_columns,
 )
-from repro.engine.explain import ExplainResult, explain_plan
+from repro.engine.explain import (
+    ExplainResult,
+    explain_plan,
+    explain_plan_analyzed,
+)
 from repro.engine.operators import CostParameters, DEFAULT_COSTS
 from repro.engine.parallel import ParallelContext
 from repro.engine.planner import Plan, Planner
@@ -182,6 +188,26 @@ class MiniRDBMS:
     def estimated_cost(self, sql: str) -> float:
         """Shortcut: the total estimated cost of a statement."""
         return self.explain(sql).total_cost
+
+    def explain_analyze(self, sql: str) -> ExplainResult:
+        """``EXPLAIN ANALYZE``: execute and show measured vs. estimated
+        numbers per plan node.
+
+        The statement is planned **privately** — never through the
+        shared statement cache — because the per-node instrumentation
+        patches the operator instances, and a patched tree must not be
+        served to a concurrent plain execution. Execution is serial
+        (per-node times would be meaningless interleaved across
+        morsel workers), so the measured total is the serial wall time.
+        """
+        self._check_length(sql)
+        plan = Planner(self.catalog, self.cost_parameters).plan(parse_sql(sql))
+        started = time.perf_counter()
+        rows, measurements = execute_plan_analyzed(plan)
+        elapsed = time.perf_counter() - started
+        return explain_plan_analyzed(
+            plan, measurements, actual_rows=len(rows), actual_seconds=elapsed
+        )
 
     # ------------------------------------------------------------------
     # Parallelism

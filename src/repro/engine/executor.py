@@ -19,6 +19,7 @@ for duplicate-preserving plans, the same set for deduplicating ones.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -173,6 +174,80 @@ def _body_batches_parallel(
         stats.morsels = len(counters)
         stats.per_worker = aggregate_worker_counters(counters)
     return body_batches
+
+
+def _instrument_operator(op: Operator, measurements: Dict[int, Dict]) -> None:
+    """Shadow *op*'s ``batches`` with a timing wrapper (instance patch).
+
+    The wrapper measures inclusive production time: the wall clock spent
+    between asking this operator for a batch and receiving it, children
+    included — summed over every pull. Counters accumulate in
+    *measurements* under ``id(op)``. The patch is an instance attribute
+    shadowing the class method, so it must only ever be applied to a
+    **privately planned** tree (never one from the shared statement
+    cache — see :meth:`repro.engine.database.MiniRDBMS.explain_analyze`).
+    """
+    record = measurements.setdefault(
+        id(op), {"rows": 0, "batches": 0, "seconds": 0.0}
+    )
+    inner = op.batches  # the bound class method, captured pre-patch
+
+    def timed(context):
+        started = time.perf_counter()
+        iterator = inner(context)
+        while True:
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                record["seconds"] += time.perf_counter() - started
+                return
+            record["seconds"] += time.perf_counter() - started
+            record["batches"] += 1
+            record["rows"] += len(batch[0]) if batch else 0
+            yield batch
+            started = time.perf_counter()
+
+    op.batches = timed
+
+
+def _walk_operators(op: Operator, seen: set) -> List[Operator]:
+    """Every distinct operator reachable from *op* (shared nodes once)."""
+    if id(op) in seen:
+        return []
+    seen.add(id(op))
+    out = [op]
+    for child in op.children():
+        out.extend(_walk_operators(child, seen))
+    return out
+
+
+def execute_plan_analyzed(
+    plan: Plan,
+) -> Tuple[List[Row], Dict[int, Dict]]:
+    """Run *plan* serially with per-operator instrumentation.
+
+    Returns ``(rows, measurements)`` where *measurements* maps
+    ``id(operator)`` to ``{"rows", "batches", "seconds"}`` — the inputs
+    :func:`repro.engine.explain.explain_plan_analyzed` renders next to
+    the planner's estimates. Always serial: per-morsel fan-out would
+    interleave several workers' pulls through one shared wrapper and
+    make per-node times meaningless. Answers are identical to
+    :func:`execute_plan` (the wrapper re-yields batches untouched).
+    """
+    measurements: Dict[int, Dict] = {}
+    seen: set = set()
+    for _name, materialize in plan.cte_plans:
+        for op in _walk_operators(materialize, seen):
+            _instrument_operator(op, measurements)
+    for op in _walk_operators(plan.body, seen):
+        _instrument_operator(op, measurements)
+    context: Dict[str, List[Batch]] = {}
+    for name, materialize in plan.cte_plans:
+        context[name] = list(materialize.batches(context))
+    out: List[Row] = []
+    for batch in plan.body.batches(context):
+        out.extend(zip(*batch))
+    return out, measurements
 
 
 def execute_plan_columns(

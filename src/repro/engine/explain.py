@@ -9,7 +9,7 @@ estimation" mode. :func:`explain_text` is for humans;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.engine.operators import Operator
 from repro.engine.planner import Plan
@@ -24,6 +24,11 @@ class ExplainResult:
     shared-scan unions this is often far below one-pipeline-per-arm.
     ``workers`` is the degree of parallelism the statement executes at
     (and that its costs were discounted for).
+
+    For ``EXPLAIN ANALYZE`` (see :func:`explain_plan_analyzed`),
+    ``actual_rows`` / ``actual_seconds`` carry the measured result size
+    and wall time, and the text shows measured numbers per node next to
+    the planner's estimates.
     """
 
     total_cost: float
@@ -31,16 +36,32 @@ class ExplainResult:
     text: str
     nodes: int = 0
     workers: int = 1
+    actual_rows: Optional[int] = None
+    actual_seconds: Optional[float] = None
 
 
-def _render(op: Operator, depth: int, lines: List[str]) -> int:
+def _render(
+    op: Operator,
+    depth: int,
+    lines: List[str],
+    measurements: Optional[Dict[int, Dict]] = None,
+) -> int:
     indent = "  " * depth
-    lines.append(
-        f"{indent}{op.label()}  (rows={op.est_rows:.1f}, cost={op.cost:.1f})"
-    )
+    line = f"{indent}{op.label()}  (rows={op.est_rows:.1f}, cost={op.cost:.1f})"
+    if measurements is not None:
+        measured = measurements.get(id(op))
+        if measured is not None and measured["batches"]:
+            line += (
+                f"  [actual rows={measured['rows']}"
+                f", batches={measured['batches']}"
+                f", time={measured['seconds'] * 1000:.3f} ms]"
+            )
+        else:
+            line += "  [actual rows=0 (never pulled)]"
+    lines.append(line)
     count = 1
     for child in op.children():
-        count += _render(child, depth + 1, lines)
+        count += _render(child, depth + 1, lines, measurements)
     return count
 
 
@@ -60,4 +81,42 @@ def explain_plan(plan: Plan, workers: int = 1) -> ExplainResult:
         text="\n".join(lines),
         nodes=nodes,
         workers=workers,
+    )
+
+
+def explain_plan_analyzed(
+    plan: Plan,
+    measurements: Dict[int, Dict],
+    actual_rows: int,
+    actual_seconds: float,
+) -> ExplainResult:
+    """Render *plan* with measured numbers next to the estimates.
+
+    *measurements* maps ``id(operator)`` to the per-node counters
+    collected by :func:`repro.engine.executor.execute_plan_analyzed`
+    (``rows`` / ``batches`` / ``seconds``). Per-node time is *inclusive*
+    production time — the wall time spent pulling that operator's
+    batches, children included — matching the convention of Postgres
+    ``EXPLAIN ANALYZE`` actual times. Nodes the execution never pulled
+    (e.g. the pruned side of an empty join build) are marked instead of
+    showing zeros that look like measurements.
+    """
+    lines: List[str] = []
+    nodes = 0
+    for name, materialize in plan.cte_plans:
+        nodes += _render(materialize, 0, lines, measurements)
+    nodes += _render(plan.body, 0, lines, measurements)
+    lines.append(f"Total estimated cost: {plan.total_cost:.1f}")
+    lines.append(
+        f"Execution: {actual_rows} rows in {actual_seconds * 1000:.3f} ms"
+        f" (estimated rows: {plan.est_rows:.1f})"
+    )
+    return ExplainResult(
+        total_cost=plan.total_cost,
+        est_rows=plan.est_rows,
+        text="\n".join(lines),
+        nodes=nodes,
+        workers=1,
+        actual_rows=actual_rows,
+        actual_seconds=actual_seconds,
     )

@@ -51,6 +51,8 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import get_registry
+
 #: Environment knob: default worker count for every engine instance that
 #: is not given an explicit ``workers`` argument. ``1`` means serial.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -331,6 +333,7 @@ class ParallelContext:
         #: The resolved substrate this context schedules on
         #: (``"serial"`` or ``"thread"``).
         self.substrate = resolved
+        get_registry().inc(f"repro.executor.substrate.{resolved}")
         self._executor: ExecutorBackend = (
             ThreadExecutor(workers) if resolved == "thread" else SerialExecutor()
         )

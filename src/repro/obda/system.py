@@ -44,6 +44,7 @@ and never costs a full-cache flush.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -81,13 +82,25 @@ from repro.dllite.saturation import ChaseTruncatedError, is_null
 from repro.dllite.tbox import TBox
 from repro.engine.database import DB2_STATEMENT_LIMIT
 from repro.materialize.router import RoutingDecision, SaturationRouter, pick
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import (
+    NO_SPAN,
+    QueryTrace,
+    Tracer,
+    activate,
+    current_span,
+    trace_enabled_default,
+)
 from repro.materialize.saturator import Fact, Saturator, fact_of as _fact_of
 from repro.optimizer.edl import edl_search
 from repro.optimizer.gdl import gdl_search
 from repro.optimizer.result import SearchResult
 from repro.queries.cq import CQ
 from repro.queries.terms import is_variable
-from repro.reformulation.perfectref import reformulate_to_ucq
+from repro.reformulation.perfectref import (
+    perfectref_invocations,
+    reformulate_to_ucq,
+)
 from repro.serving.concurrency import (
     AdmissionController,
     QueryTimeoutError,
@@ -109,6 +122,16 @@ COST_MODES = ("ext", "rdbms")
 #: path), mirroring ``REPRO_WORKERS=1``.
 SHARDS_ENV = "REPRO_SHARDS"
 
+#: Environment knob: slow-query threshold in milliseconds. Any query
+#: whose reformulation + execution total meets it is logged on the
+#: ``repro.slow_query`` logger as a structured WARNING record with the
+#: query's trace attached (when tracing is on). Unset = no slow log.
+SLOW_QUERY_ENV = "REPRO_SLOW_QUERY_MS"
+
+#: The slow-query logger; handlers attached here receive one record per
+#: slow query with ``query_ms`` / ``strategy`` / ``query_trace`` extras.
+_SLOW_QUERY_LOGGER = logging.getLogger("repro.slow_query")
+
 
 def _env_shards() -> Optional[int]:
     raw = os.environ.get(SHARDS_ENV)
@@ -120,6 +143,17 @@ def _env_shards() -> Optional[int]:
         return None
     return count if count >= 2 else None
 
+
+def _env_slow_query_ms() -> Optional[float]:
+    raw = os.environ.get(SLOW_QUERY_ENV)
+    if raw is None:
+        return None
+    try:
+        threshold = float(raw)
+    except ValueError:
+        return None
+    return threshold if threshold >= 0 else None
+
 #: Strategies whose chosen reformulation does not depend on data
 #: statistics; their cached plans survive writes (epoch stamp ``None``).
 DATA_INDEPENDENT_STRATEGIES = frozenset({"ucq", "croot", "sat"})
@@ -128,6 +162,21 @@ DATA_INDEPENDENT_STRATEGIES = frozenset({"ucq", "croot", "sat"})
 #: constant because the plan cache only stores plans computed with this
 #: default (the plan key deliberately excludes the knob).
 DEFAULT_GENERALIZED_LIMIT = 20_000
+
+
+def _describe_search(span, search: "SearchResult") -> None:
+    """Fold a cover search's effort counters onto its trace span: the
+    cost-estimation side of the paper's pipeline (candidates considered,
+    estimator calls, chosen cost). No-op with tracing off."""
+    if not span.enabled:
+        return
+    span.set(
+        safe_covers_explored=search.safe_covers_explored,
+        generalized_covers_explored=search.generalized_covers_explored,
+        cost_estimations=search.cost_estimations,
+        est_cost=search.cost,
+        hit_time_budget=search.hit_time_budget,
+    )
 
 
 @dataclass
@@ -161,6 +210,10 @@ class AnswerReport:
     #: Snapshot of the system's plan- and fragment-cache counters at
     #: answer time: ``{"plan": {...}, "fragments": {...}}``.
     cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: The per-query trace (:class:`repro.obs.trace.QueryTrace`) when
+    #: the system was constructed with tracing on (``trace=True`` /
+    #: ``REPRO_TRACE=1``); ``None`` otherwise.
+    trace: Optional[QueryTrace] = None
     #: The exception this query raised, when ``answer_many`` ran with
     #: ``on_error="collect"``; ``None`` on success (then ``choice`` is set).
     error: Optional[BaseException] = None
@@ -231,6 +284,8 @@ class OBDASystem:
         shards: Optional[int] = None,
         shard_workers: Optional[int] = None,
         executor: Optional[str] = None,
+        trace: Optional[bool] = None,
+        slow_query_ms: Optional[float] = None,
     ) -> None:
         self.kb = KnowledgeBase(tbox, abox)
         #: When True, every insert_facts re-validates the disjointness
@@ -337,6 +392,19 @@ class OBDASystem:
         #: Telemetry from the most recent concurrent ``answer_many``:
         #: ``{"workers", "wall_seconds", "admission": {...}}``.
         self.last_batch_stats: Optional[Dict] = None
+
+        # Observability (see repro.obs): per-query tracing is opt-in
+        # (``trace=True`` or ``REPRO_TRACE=1``) because a built trace
+        # costs real allocations per query; metrics recording is always
+        # on (a handful of registry updates per query). The slow-query
+        # threshold (``slow_query_ms`` / ``REPRO_SLOW_QUERY_MS``) logs
+        # any query whose total time meets it, trace attached.
+        self.trace_enabled = (
+            trace_enabled_default() if trace is None else bool(trace)
+        )
+        self.slow_query_ms = (
+            _env_slow_query_ms() if slow_query_ms is None else slow_query_ms
+        )
         if materialize:
             self.enable_materialization()
 
@@ -674,8 +742,15 @@ class OBDASystem:
         time_budget_seconds: Optional[float],
         generalized_limit: Optional[int],
     ) -> ReformulationChoice:
-        """The uncached reformulate-translate pipeline."""
+        """The uncached reformulate-translate pipeline.
+
+        When a trace is active (``answer()`` activates its reformulate
+        span around this call), cover-search and SQL-translation child
+        spans hang off :func:`~repro.obs.trace.current_span`; with
+        tracing off those are no-op singleton calls.
+        """
         started = time.perf_counter()
+        span = current_span()
         search: Optional[SearchResult] = None
         routing: Optional[RoutingDecision] = None
 
@@ -689,12 +764,14 @@ class OBDASystem:
             reformulation: object = query
         elif strategy == "auto":
             estimator = self._estimator(cost, minimize, use_uscq)
-            search = gdl_search(
-                query,
-                self.kb.tbox,
-                estimator,
-                time_budget_seconds=time_budget_seconds,
-            )
+            with span.child("cover_search", algorithm="gdl") as search_span:
+                search = gdl_search(
+                    query,
+                    self.kb.tbox,
+                    estimator,
+                    time_budget_seconds=time_budget_seconds,
+                )
+                _describe_search(search_span, search)
             if self._saturator.truncated:
                 # Saturation is incomplete at this generation bound;
                 # reformulation is the only complete side, whatever the
@@ -736,27 +813,31 @@ class OBDASystem:
             )
         elif strategy in ("gdl", "edl"):
             estimator = self._estimator(cost, minimize, use_uscq)
-            if strategy == "gdl":
-                search = gdl_search(
-                    query,
-                    self.kb.tbox,
-                    estimator,
-                    time_budget_seconds=time_budget_seconds,
-                )
-            else:
-                search = edl_search(
-                    query,
-                    self.kb.tbox,
-                    estimator,
-                    generalized_limit=generalized_limit,
-                )
+            with span.child("cover_search", algorithm=strategy) as search_span:
+                if strategy == "gdl":
+                    search = gdl_search(
+                        query,
+                        self.kb.tbox,
+                        estimator,
+                        time_budget_seconds=time_budget_seconds,
+                    )
+                else:
+                    search = edl_search(
+                        query,
+                        self.kb.tbox,
+                        estimator,
+                        generalized_limit=generalized_limit,
+                    )
+                _describe_search(search_span, search)
             reformulation = estimator.reformulate(search.cover)
         else:
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
 
-        sql = self.translator.translate(reformulation)
+        with span.child("translate") as translate_span:
+            sql = self.translator.translate(reformulation)
+            translate_span.set(sql_chars=len(sql))
         shard_route = None
         if isinstance(self.backend, ShardedBackend):
             # Logical hint: routes plan-cached statements without ever
@@ -788,39 +869,178 @@ class OBDASystem:
         time_budget_seconds: Optional[float] = None,
         use_plan_cache: bool = True,
     ) -> AnswerReport:
-        """Answer *query*: reformulate, translate, evaluate, decode."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        choice = self.reformulate(
-            query,
-            strategy=strategy,
-            cost=cost,
-            minimize=minimize,
-            use_uscq=use_uscq,
-            time_budget_seconds=time_budget_seconds,
-            use_plan_cache=use_plan_cache,
-        )
-        self._check_saturation_complete(choice)
-        started = time.perf_counter()
-        # Shared barrier: a concurrent write drains this read before
-        # mutating anything, so the rows and the saturation state the
-        # re-check sees belong to one consistent epoch.
-        with self._barrier.shared():
-            rows = self._execute_sql(choice)
-            # Re-checked *after* execution: a write may have truncated
-            # the saturation between the first check and the table read,
-            # and the rows would then under-approximate. (A write
-            # landing after this point is fine — the answer is the valid
-            # pre-write one.)
+        """Answer *query*: reformulate, translate, evaluate, decode.
+
+        With tracing on (``trace=True`` / ``REPRO_TRACE=1``) the report
+        carries one coherent :class:`~repro.obs.trace.QueryTrace`:
+        parse, reformulation (cover-search and translation children with
+        PerfectRef / cache-delta counters), execution (per-shard
+        children on a sharded backend, including span subtrees shipped
+        back from forked workers) and decode. Metrics are recorded
+        either way, and a query meeting the slow-query threshold is
+        logged with its trace attached.
+        """
+        query_started = time.perf_counter()
+        tracer: Optional[Tracer] = None
+        root = NO_SPAN
+        if self.trace_enabled:
+            tracer = Tracer()
+            root = tracer.root("query", strategy=strategy, cost=cost)
+        with root:
+            if isinstance(query, str):
+                with root.child("parse"):
+                    query = parse_query(query)
+            with root.child("reformulate", strategy=strategy) as ref_span:
+                if ref_span.enabled:
+                    perfectref_before = perfectref_invocations()
+                    caches_before = self.cache_stats()
+                with activate(ref_span):
+                    choice = self.reformulate(
+                        query,
+                        strategy=strategy,
+                        cost=cost,
+                        minimize=minimize,
+                        use_uscq=use_uscq,
+                        time_budget_seconds=time_budget_seconds,
+                        use_plan_cache=use_plan_cache,
+                    )
+                if ref_span.enabled:
+                    self._describe_choice(
+                        ref_span, choice, perfectref_before, caches_before
+                    )
             self._check_saturation_complete(choice)
-        execution = time.perf_counter() - started
-        answers = self._decode(query, rows)
-        return AnswerReport(
+            started = time.perf_counter()
+            # Shared barrier: a concurrent write drains this read before
+            # mutating anything, so the rows and the saturation state
+            # the re-check sees belong to one consistent epoch.
+            with self._barrier.shared():
+                with root.child(
+                    "execute", backend=self.backend.name
+                ) as exec_span:
+                    with activate(exec_span):
+                        rows = self._execute_sql(choice)
+                    if exec_span.enabled:
+                        self._describe_execution(exec_span, choice, rows)
+                # Re-checked *after* execution: a write may have
+                # truncated the saturation between the first check and
+                # the table read, and the rows would then
+                # under-approximate. (A write landing after this point
+                # is fine — the answer is the valid pre-write one.)
+                self._check_saturation_complete(choice)
+            execution = time.perf_counter() - started
+            with root.child("decode") as decode_span:
+                answers = self._decode(query, rows)
+                decode_span.set(answers=len(answers))
+        report = AnswerReport(
             query=query,
             choice=choice,
             answers=answers,
             execution_seconds=execution,
             cache_stats=self.cache_stats(),
+        )
+        if tracer is not None:
+            report.trace = tracer.trace()
+        self._record_answer(report, time.perf_counter() - query_started)
+        return report
+
+    def _describe_choice(
+        self,
+        span,
+        choice: ReformulationChoice,
+        perfectref_before: int,
+        caches_before: Dict[str, Dict[str, int]],
+    ) -> None:
+        """Annotate a reformulate span with what the choice cost:
+        PerfectRef invocations and per-cache hit/miss deltas this query
+        caused, plus the plan-cache outcome and routing decision."""
+        span.set(
+            chosen_strategy=choice.strategy,
+            plan_cache_hit=choice.plan_cache_hit,
+            perfectref_invocations=perfectref_invocations() - perfectref_before,
+            seconds=choice.reformulation_seconds,
+        )
+        caches_after = self.cache_stats()
+        for cache_name, counters in caches_after.items():
+            before = caches_before.get(cache_name, {})
+            for key in ("hits", "misses", "stale"):
+                if key in counters:
+                    span.set(
+                        **{
+                            f"{cache_name}_{key}": counters[key]
+                            - before.get(key, 0)
+                        }
+                    )
+        if choice.routing is not None:
+            span.set(
+                routed_to=choice.routing.routed_to,
+                saturation_cost=choice.routing.saturation_cost,
+                reformulation_cost=choice.routing.reformulation_cost,
+            )
+
+    def _describe_execution(
+        self, span, choice: ReformulationChoice, rows: List[Tuple]
+    ) -> None:
+        """Annotate an execute span with the backend's counters for this
+        statement (folded out of ``ExecutionStats`` or its sharded /
+        worker equivalents) and the search's estimated cost, so the
+        trace shows estimated vs. measured side by side."""
+        span.set(rows=len(rows), sql_chars=len(choice.sql))
+        if choice.search is not None:
+            span.set(est_cost=choice.search.cost)
+        execution = getattr(self.backend, "last_execution", None)
+        if execution is not None:
+            for attribute in (
+                "batches",
+                "workers",
+                "morsels",
+                "materialized_ctes",
+                "route",
+            ):
+                value = getattr(execution, attribute, None)
+                if value:
+                    span.set(**{attribute: value})
+
+    def _record_answer(self, report: AnswerReport, total_seconds: float) -> None:
+        """Always-on per-query accounting: registry metrics plus the
+        slow-query log (a structured WARNING with the trace attached
+        when one was collected)."""
+        choice = report.choice
+        registry = get_registry()
+        registry.inc("repro.query.count")
+        registry.observe("repro.query.seconds", total_seconds)
+        registry.observe(
+            "repro.query.execution.seconds", report.execution_seconds
+        )
+        if choice is not None:
+            registry.inc(f"repro.query.strategy.{choice.strategy}")
+            registry.observe(
+                "repro.query.reformulation.seconds",
+                choice.reformulation_seconds,
+            )
+            registry.inc(
+                "repro.plan_cache.hits"
+                if choice.plan_cache_hit
+                else "repro.plan_cache.misses"
+            )
+        if self.slow_query_ms is None:
+            return
+        total_ms = total_seconds * 1000.0
+        if total_ms < self.slow_query_ms:
+            return
+        registry.inc("repro.query.slow")
+        _SLOW_QUERY_LOGGER.warning(
+            "slow query: %.1f ms (strategy=%s, answers=%d, threshold=%.1f ms)",
+            total_ms,
+            choice.strategy if choice is not None else "?",
+            len(report.answers),
+            self.slow_query_ms,
+            extra={
+                "query_ms": total_ms,
+                "strategy": choice.strategy if choice is not None else None,
+                "query_trace": (
+                    report.trace.to_dict() if report.trace is not None else None
+                ),
+            },
         )
 
     def answer_many(
@@ -982,20 +1202,33 @@ class OBDASystem:
                 reports.append(future.result(timeout=remaining))
             except FutureTimeoutError:
                 reports.append(timed_out(query))
+        wall_seconds = time.perf_counter() - started
         self.last_batch_stats = {
+            # Canonical metric names (the docs/OBSERVABILITY.md catalog)
+            # next to the historical flat keys, which are **deprecated
+            # aliases** kept for one release.
             "workers": max_workers,
+            "serving.workers": max_workers,
             "queries": len(queries),
-            "wall_seconds": time.perf_counter() - started,
+            "serving.queries": len(queries),
+            "wall_seconds": wall_seconds,
+            "serving.wall.seconds": wall_seconds,
             "admission": admission.stats(),
             #: The storage-side execution substrate this batch ran on
             #: ("inproc" for plain unsharded backends).
             "substrate": getattr(self.backend, "substrate", "inproc"),
+            "serving.substrate": getattr(self.backend, "substrate", "inproc"),
         }
+        registry = get_registry()
+        registry.inc("repro.serving.batches")
+        registry.inc("repro.serving.queries", len(queries))
+        registry.observe("repro.serving.batch.seconds", wall_seconds)
         if shards_before is not None:
             # Route counters this batch moved (approximate under racing
-            # batches — counters are system-global).
+            # batches — counters are system-global). Old flat keys stay
+            # as deprecated aliases of the dotted canonical names.
             shards_after = telemetry()
-            self.last_batch_stats["shards"] = {
+            batch_shards = {
                 "shards": shards_after["shards"],
                 **{
                     key: shards_after[key] - shards_before[key]
@@ -1007,6 +1240,11 @@ class OBDASystem:
                     if key in shards_after
                 },
             }
+            aliases = getattr(type(self.backend), "TELEMETRY_ALIASES", {})
+            for old_key, canonical in aliases.items():
+                if old_key in batch_shards:
+                    batch_shards[canonical] = batch_shards[old_key]
+            self.last_batch_stats["shards"] = batch_shards
         return reports
 
     def _ensure_serving_pool(self, workers: int) -> ThreadPoolExecutor:
@@ -1084,6 +1322,38 @@ class OBDASystem:
             "fragments": self.reformulation_cache.stats(),
             "costs": self.cost_cache.stats(),
         }
+
+    def _merged_registry(self) -> MetricsRegistry:
+        """A read-only merge of every registry this system can see:
+        the process-wide one, plus (on the process substrate) the shard
+        workers' own registries fetched over one RPC per worker. Merging
+        happens into a *fresh* registry so repeated calls never
+        double-count the cumulative worker counters."""
+        merged = MetricsRegistry()
+        merged.merge_snapshot(get_registry().snapshot())
+        fetch = getattr(self.backend, "metrics_snapshot", None)
+        if fetch is not None:
+            merged.merge_snapshot(fetch())
+        for cache_name, counters in self.cache_stats().items():
+            for key, value in counters.items():
+                merged.set_gauge(f"repro.cache.{cache_name}.{key}", value)
+        merged.set_gauge("repro.data_epoch", self.data_epoch)
+        return merged
+
+    def metrics(self) -> Dict:
+        """One unified metrics snapshot for the whole system.
+
+        Counters, gauges and histogram summaries (p50/p95/p99) under the
+        stable names catalogued in ``docs/OBSERVABILITY.md`` — the
+        coordinator's process-wide registry merged with every forked
+        shard worker's, plus the cache counters as gauges. JSON-able.
+        """
+        return self._merged_registry().snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The same unified view as :meth:`metrics`, rendered in the
+        Prometheus plain-text exposition format."""
+        return self._merged_registry().render_prometheus()
 
     def close(self) -> None:
         """Release the backend's resources and drop cached plans. Idempotent."""

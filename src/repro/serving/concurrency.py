@@ -21,6 +21,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional
 
+from repro.obs.metrics import get_registry
+
 
 class QueryTimeoutError(RuntimeError):
     """A query missed its per-query deadline in ``answer_many``.
@@ -143,11 +145,13 @@ class AdmissionController:
         queries that never release their slots.
         """
         if not self._gate.acquire(timeout=timeout):
+            get_registry().inc("repro.serving.admission.timeouts")
             return False
         with self._lock:
             self.admitted += 1
             self.in_flight += 1
             self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        get_registry().inc("repro.serving.admission.admitted")
         return True
 
     def release(self) -> None:

@@ -32,6 +32,11 @@ from repro.cost.cache import EpochLRU
 class PlanCache(EpochLRU):
     """LRU mapping plan keys to cached plans, with hit/miss counters."""
 
+    #: Prefix under which :meth:`repro.obda.system.OBDASystem.metrics`
+    #: publishes these counters as gauges (``repro.cache.plan.hits``,
+    #: ...) — the stable names in the ``docs/OBSERVABILITY.md`` catalog.
+    metric_prefix = "repro.cache.plan"
+
     def __init__(self, capacity: int = 256) -> None:
         if capacity is None or capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")

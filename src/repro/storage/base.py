@@ -61,6 +61,20 @@ class Backend(ABC):
         for table, rows in deletes.items():
             self.delete_rows(table, rows)
 
+    def metrics_snapshot(self):
+        """Metrics this backend holds that the process-wide registry
+        cannot see, as a :meth:`repro.obs.metrics.MetricsRegistry.
+        snapshot` dict — or ``None``.
+
+        In-process backends record straight into the coordinator's
+        registry and return ``None`` (the default). Backends hosting
+        work in *other processes* (the sharded backend on the process
+        substrate) override this to fetch and merge their workers'
+        registries, so :meth:`repro.obda.system.OBDASystem.metrics`
+        reports one unified view.
+        """
+        return None
+
     def table_statistics(self, table: str):
         """Optimizer statistics for one loaded table, or ``None``.
 

@@ -9,10 +9,12 @@ queries exceed, reproducing the paper's §6.3 failures.
 from __future__ import annotations
 
 import threading
+import time
 from typing import List, Optional, Tuple
 
 from repro.engine.database import DB2_STATEMENT_LIMIT, MiniRDBMS
 from repro.engine.operators import CostParameters, DEFAULT_COSTS
+from repro.obs.metrics import get_registry
 from repro.storage.base import Backend, Row
 from repro.storage.layouts import LayoutData
 
@@ -79,24 +81,42 @@ class MemoryBackend(Backend):
 
     def execute(self, sql: str) -> List[Row]:
         """Evaluate *sql* on the embedded engine; returns result rows."""
+        started = time.perf_counter()
         with self._lock:
-            return self.db.execute(sql)
+            rows = self.db.execute(sql)
+        registry = get_registry()
+        registry.inc("repro.engine.statements")
+        registry.observe(
+            "repro.engine.execute.seconds", time.perf_counter() - started
+        )
+        return rows
 
     def execute_columns(self, sql: str) -> Tuple[int, List[List]]:
         """Evaluate *sql* returning ``(nrows, column vectors)`` — the
         engine's columnar result path (shard worker processes use this
         to feed the shared-memory wire format without row tuples)."""
+        started = time.perf_counter()
         with self._lock:
-            return self.db.execute_columns(sql)
+            result = self.db.execute_columns(sql)
+        registry = get_registry()
+        registry.inc("repro.engine.statements")
+        registry.observe(
+            "repro.engine.execute.seconds", time.perf_counter() - started
+        )
+        return result
 
     def estimated_cost(self, sql: str) -> float:
         """The engine's own EXPLAIN cost estimate for *sql*."""
         with self._lock:
             return self.db.estimated_cost(sql)
 
-    def explain_text(self, sql: str) -> str:
-        """The engine's EXPLAIN rendering (plan tree with estimates)."""
+    def explain_text(self, sql: str, analyze: bool = False) -> str:
+        """The engine's EXPLAIN rendering (plan tree with estimates);
+        ``analyze=True`` executes and shows measured vs. estimated
+        numbers per node (``EXPLAIN ANALYZE``)."""
         with self._lock:  # planning mutates the shared statement cache
+            if analyze:
+                return self.db.explain_analyze(sql).text
             return self.db.explain(sql).text
 
     def table_statistics(self, table: str):

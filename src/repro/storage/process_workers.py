@@ -37,12 +37,16 @@ real exception type at the coordinator whenever it can cross the wire.
 from __future__ import annotations
 
 import atexit
+import os
 import pickle
 import threading
+import time
 import weakref
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry, reset_registry
+from repro.obs.trace import Tracer
 from repro.storage.base import Backend, Row
 from repro.storage.layouts import LayoutData
 from repro.storage.shm_exchange import (
@@ -90,8 +94,8 @@ def _sendable(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _serve_execute(conn, backend: Backend, sql: str, min_cells: int) -> None:
-    """Worker side of one ``execute``: inline reply or shm handshake.
+def _run_execute(backend: Backend, sql: str) -> Tuple[int, List]:
+    """Evaluate *sql* in the worker, columnar when the backend can.
 
     Backends exposing ``execute_columns`` (the embedded engine does)
     answer columnar end to end — result vectors go straight into the
@@ -99,18 +103,54 @@ def _serve_execute(conn, backend: Backend, sql: str, min_cells: int) -> None:
     """
     columns_api = getattr(backend, "execute_columns", None)
     if columns_api is not None:
-        nrows, columns = columns_api(sql)
+        return columns_api(sql)
+    result_rows = backend.execute(sql)
+    nrows = len(result_rows)
+    return nrows, list(zip(*result_rows)) if result_rows else []
+
+
+def _serve_execute(
+    conn, backend: Backend, sql: str, min_cells: int, traced: bool = False
+) -> None:
+    """Worker side of one ``execute``: inline reply or shm handshake.
+
+    With *traced* the execution runs under a worker-local
+    :class:`~repro.obs.trace.Tracer` and the reply carries the span
+    subtree as a plain dict (third element), stamped with this worker's
+    pid for attribution and ``clock="worker"`` — a forked process's
+    monotonic clock is not comparable to the coordinator's, so grafted
+    durations are meaningful but offsets are not.
+    """
+    started = time.perf_counter()
+    span_dict = None
+    if traced:
+        tracer = Tracer()
+        with tracer.root(
+            "shard.worker", pid=os.getpid(), clock="worker"
+        ) as root:
+            nrows, columns = _run_execute(backend, sql)
     else:
-        result_rows = backend.execute(sql)
-        nrows = len(result_rows)
-        columns = list(zip(*result_rows)) if result_rows else []
+        nrows, columns = _run_execute(backend, sql)
     execution = getattr(backend, "last_execution", None)
     batches = getattr(execution, "batches", 0) if execution is not None else 0
+    registry = get_registry()
+    registry.inc("repro.worker.statements")
+    registry.observe(
+        "repro.worker.execute.seconds", time.perf_counter() - started
+    )
+    if traced:
+        root.set(rows=nrows, batches=batches)
+        span_dict = root.to_dict()
     if not nrows or should_inline(nrows, len(columns), min_cells):
-        conn.send(("rows", (list(zip(*columns)) if nrows else [], batches)))
+        conn.send(
+            (
+                "rows",
+                (list(zip(*columns)) if nrows else [], batches, span_dict),
+            )
+        )
         return
     meta, payload = pack_columns(nrows, columns)
-    conn.send(("shm", (len(payload), meta, batches)))
+    conn.send(("shm", (len(payload), meta, batches, span_dict)))
     tag, name = conn.recv()
     if tag != "segment":  # coordinator aborted (e.g. allocation failed)
         return
@@ -135,6 +175,11 @@ def _worker_main(conn, factory: Callable[[], Backend]) -> None:
             conn.close()
         return
     conn.send(("ok", getattr(backend, "name", "backend")))
+    # The fork copied the parent's process-wide registry, counts and
+    # all; replaying those counts from every worker would multiply the
+    # coordinator's own traffic. Start this process from zero — the
+    # "metrics" command then ships only what *this worker* recorded.
+    reset_registry()
     min_cells = shm_min_cells()
     while True:
         try:
@@ -150,6 +195,10 @@ def _worker_main(conn, factory: Callable[[], Backend]) -> None:
         try:
             if cmd == "execute":
                 _serve_execute(conn, backend, payload, min_cells)
+            elif cmd == "execute_traced":
+                _serve_execute(conn, backend, payload, min_cells, traced=True)
+            elif cmd == "metrics":
+                conn.send(("ok", get_registry().snapshot()))
             elif cmd == "load":
                 backend.load(payload)
                 conn.send(("ok", None))
@@ -168,8 +217,18 @@ def _worker_main(conn, factory: Callable[[], Backend]) -> None:
             elif cmd == "cost":
                 conn.send(("ok", backend.estimated_cost(payload)))
             elif cmd == "explain":
+                sql, analyze = payload
                 explain = getattr(backend, "explain_text", None)
-                conn.send(("ok", explain(payload) if explain else ""))
+                if explain is None:
+                    text = ""
+                elif analyze:
+                    try:
+                        text = explain(sql, analyze=True)
+                    except TypeError:  # backend without the analyze mode
+                        text = explain(sql)
+                else:
+                    text = explain(sql)
+                conn.send(("ok", text))
             elif cmd == "describe":
                 hosted_db = getattr(backend, "db", None)
                 conn.send(
@@ -295,17 +354,30 @@ class ProcessShardWorker(Backend):
 
     def execute(self, sql: str) -> List[Row]:
         """Evaluate *sql* in the worker; decode the columnar reply."""
+        rows, _span = self._execute_rpc("execute", sql)
+        return rows
+
+    def execute_traced(self, sql: str) -> Tuple[List[Row], Optional[Dict]]:
+        """Evaluate *sql* with a worker-local trace; returns the rows
+        plus the worker's span subtree as a plain dict (``None`` only if
+        the worker produced none), ready for :meth:`repro.obs.trace.
+        Span.graft` into the coordinator's trace."""
+        return self._execute_rpc("execute_traced", sql)
+
+    def _execute_rpc(
+        self, cmd: str, sql: str
+    ) -> Tuple[List[Row], Optional[Dict]]:
         if self._closed:
             raise RuntimeError("ProcessShardWorker is closed")
         with self._lock:
-            self._conn.send(("execute", sql))
+            self._conn.send((cmd, sql))
             tag, payload = self._recv()
             if tag == "rows":
-                rows, batches = payload
+                rows, batches, span = payload
                 transport = "inline"
                 self.inline_results += 1
             elif tag == "shm":
-                nbytes, meta, batches = payload
+                nbytes, meta, batches, span = payload
                 from multiprocessing import shared_memory
 
                 segment = shared_memory.SharedMemory(
@@ -326,7 +398,13 @@ class ProcessShardWorker(Backend):
         self.last_execution = WorkerExecution(
             batches=batches, rows=len(rows), transport=transport
         )
-        return rows
+        if span is not None:
+            # The coordinator knows the shard and transport; the worker
+            # does not — annotate its subtree before it is grafted.
+            attributes = span.setdefault("attributes", {})
+            attributes["shard"] = self.shard
+            attributes["transport"] = transport
+        return rows, span
 
     @property
     def db(self) -> WorkerEngineInfo:
@@ -337,9 +415,9 @@ class ProcessShardWorker(Backend):
         """The hosted backend's own cost estimate for *sql*."""
         return self._call("cost", sql)
 
-    def explain_text(self, sql: str) -> str:
-        """The hosted backend's EXPLAIN rendering."""
-        return self._call("explain", sql)
+    def explain_text(self, sql: str, analyze: bool = False) -> str:
+        """The hosted backend's EXPLAIN (or EXPLAIN ANALYZE) rendering."""
+        return self._call("explain", (sql, analyze))
 
     def insert_rows(self, table: str, rows: List[Row]) -> None:
         """Replicate an insert into the worker (set semantics)."""
@@ -361,6 +439,16 @@ class ProcessShardWorker(Backend):
         """Statistics for many tables in one round-trip (the sharded
         post-write re-merge batches through this)."""
         return self._call("stats", list(tables))
+
+    def metrics_snapshot(self) -> Optional[Dict]:
+        """The worker process's own metrics registry, one round-trip
+        (same batching shape as :meth:`statistics_many`); merged by the
+        coordinator into the unified view. ``None`` once the worker is
+        closed — a post-close ``metrics()`` read must degrade, not
+        raise."""
+        if self._closed:
+            return None
+        return self._call("metrics")
 
     # ------------------------------------------------------------------
     def _abandon(self) -> None:

@@ -66,6 +66,8 @@ from repro.engine.errors import StatementTooLongError, UnknownTableError
 from repro.engine.parallel import ParallelContext, resolve_substrate
 from repro.engine.planner import ShardRoute, analyze_shard_route
 from repro.engine.sqlparser import parse_sql
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import NO_SPAN, current_span
 from repro.serving.concurrency import ReadWriteBarrier
 from repro.storage.base import Backend, Row
 from repro.storage.layouts import LayoutData, TableSpec
@@ -221,6 +223,15 @@ class ShardedBackend(Backend):
             "pruned": 0,
             "scatter": 0,
             "gather": 0,
+            # Gather-path transfer accounting: how much data the
+            # coordinator pulled out of the shards to materialize its
+            # row copies (bytes are estimated at 8 per cell — the shm
+            # wire format's int64 width — since in-process transfers
+            # never serialize).
+            "gather_tables": 0,
+            "gather_rows": 0,
+            "gather_cells": 0,
+            "gather_bytes": 0,
         }
         self._largest_shard: Optional[int] = None
         self._closed = False
@@ -430,34 +441,66 @@ class ShardedBackend(Backend):
     # Reads
     # ------------------------------------------------------------------
     def execute(self, sql: str, route: Optional[ShardRoute] = None) -> List[Row]:
-        """Evaluate *sql* on the route's shards and merge the results."""
+        """Evaluate *sql* on the route's shards and merge the results.
+
+        When the caller's context carries an active trace span (see
+        :func:`repro.obs.trace.current_span`), the execution hangs a
+        ``shards.execute`` child under it with one per-shard child per
+        fan-out leg — including span subtrees shipped back from forked
+        workers on the process substrate.
+        """
         self._check_length(sql)
         if route is None:
             route = self.plan_route(sql)
         with self._barrier.shared():
-            if route.kind == "gather":
-                rows, stats = self._execute_gather(sql, route)
-            else:
-                rows, stats = self._execute_shards(sql, route)
+            with current_span().child(
+                "shards.execute",
+                route=route.kind,
+                substrate=self.substrate,
+                shard_count=self.shards,
+            ) as span:
+                if route.kind == "gather":
+                    rows, stats = self._execute_gather(sql, route, span)
+                else:
+                    rows, stats = self._execute_shards(sql, route, span)
+                span.set(rows=len(rows), batches=stats.batches)
         stats.shard_count = self.shards
         stats.substrate = self.substrate
         self.last_execution = stats
         with self._telemetry_lock:
             self._counters["executions"] += 1
             self._counters[route.kind] += 1
+        registry = get_registry()
+        registry.inc("repro.shards.executions")
+        registry.inc(f"repro.shards.route.{route.kind}")
         return rows
 
     def _execute_shards(
-        self, sql: str, route: ShardRoute
+        self, sql: str, route: ShardRoute, parent=NO_SPAN
     ) -> Tuple[List[Row], ShardExecutionStats]:
         targets = route.shards
 
+        # *parent* is captured explicitly: the fan-out legs run on pool
+        # threads, where the coordinator's contextvar does not flow.
         def one(index: int) -> Tuple[int, List[Row], int]:
             shard = targets[index]
             child = self.children[shard]
-            rows = child.execute(sql)
-            execution = getattr(child, "last_execution", None)
-            batches = getattr(execution, "batches", 0) if execution else 0
+            with parent.child("shard.execute", shard=shard) as span:
+                traced = (
+                    getattr(child, "execute_traced", None)
+                    if span.enabled
+                    else None
+                )
+                if traced is not None:
+                    # Process-substrate child: the worker builds its own
+                    # span subtree and ships it back over the pipe RPC.
+                    rows, worker_span = traced(sql)
+                    span.graft(worker_span)
+                else:
+                    rows = child.execute(sql)
+                execution = getattr(child, "last_execution", None)
+                batches = getattr(execution, "batches", 0) if execution else 0
+                span.set(rows=len(rows), batches=batches)
             return shard, rows, batches
 
         results = self._parallel.map_partitions(one, len(targets))
@@ -493,12 +536,17 @@ class ShardedBackend(Backend):
         return merged, stats
 
     def _execute_gather(
-        self, sql: str, route: ShardRoute
+        self, sql: str, route: ShardRoute, parent=NO_SPAN
     ) -> Tuple[List[Row], ShardExecutionStats]:
         with self._coordinator_lock:
-            self._ensure_gathered(route.tables)
-            rows = self._coordinator.execute(sql)
-            execution = self._coordinator.last_execution
+            self._ensure_gathered(route.tables, parent)
+            with parent.child("gather.execute") as span:
+                rows = self._coordinator.execute(sql)
+                execution = self._coordinator.last_execution
+                span.set(
+                    rows=len(rows),
+                    batches=execution.batches if execution else 0,
+                )
             stats = ShardExecutionStats(
                 route="gather",
                 shards_touched=tuple(range(self.shards)),
@@ -507,27 +555,48 @@ class ShardedBackend(Backend):
             )
         return rows, stats
 
-    def _ensure_gathered(self, tables: Sequence[str]) -> None:
+    def _ensure_gathered(self, tables: Sequence[str], parent=NO_SPAN) -> None:
         """Materialize fresh coordinator copies of *tables* (coordinator
         lock held). Each stale table is scanned shard-parallel and
         reloaded; warm copies (no write since the last gather) are free.
+
+        Every cold gather is counted in the transfer telemetry
+        (``gather_tables`` / ``gather_rows`` / ``gather_cells`` /
+        ``gather_bytes``): the gather route invisibly ships whole table
+        copies to the coordinator, and these counters make that cost
+        measurable (bytes estimated at 8 per cell, the int64 wire
+        width).
         """
         for name in tables:
             columns, _key, indexes = self._table_entry(name)
             version = self._table_versions.get(name, 0)
             if self._gathered.get(name) == version:
                 continue
-            scan = f"SELECT {', '.join(columns)} FROM {name}"
-            slices = self._parallel.map_partitions(
-                lambda shard: self.children[shard].execute(scan), self.shards
-            )
-            self._coordinator.create_table(name, columns)
-            for slice_rows in slices:
-                self._coordinator.insert_many(name, slice_rows)
-            for index_columns in indexes:
-                self._coordinator.create_index(name, index_columns)
-            self._coordinator.analyze(name)
-            self._gathered[name] = version
+            with parent.child("gather.table", table=name) as span:
+                scan = f"SELECT {', '.join(columns)} FROM {name}"
+                slices = self._parallel.map_partitions(
+                    lambda shard: self.children[shard].execute(scan),
+                    self.shards,
+                )
+                self._coordinator.create_table(name, columns)
+                for slice_rows in slices:
+                    self._coordinator.insert_many(name, slice_rows)
+                for index_columns in indexes:
+                    self._coordinator.create_index(name, index_columns)
+                self._coordinator.analyze(name)
+                self._gathered[name] = version
+                transferred_rows = sum(len(rows) for rows in slices)
+                cells = transferred_rows * len(columns)
+                span.set(rows=transferred_rows, est_bytes=cells * 8)
+            with self._telemetry_lock:
+                self._counters["gather_tables"] += 1
+                self._counters["gather_rows"] += transferred_rows
+                self._counters["gather_cells"] += cells
+                self._counters["gather_bytes"] += cells * 8
+            registry = get_registry()
+            registry.inc("repro.shards.gather.tables")
+            registry.inc("repro.shards.gather.rows", transferred_rows)
+            registry.inc("repro.shards.gather.bytes", cells * 8)
 
     # ------------------------------------------------------------------
     # Cost estimation and EXPLAIN
@@ -572,9 +641,11 @@ class ShardedBackend(Backend):
             self._largest_shard = max(range(self.shards), key=totals.__getitem__)
         return self._largest_shard
 
-    def explain_text(self, sql: str) -> str:
+    def explain_text(self, sql: str, analyze: bool = False) -> str:
         """The shard route plus the representative child (or
-        coordinator) plan."""
+        coordinator) plan; ``analyze=True`` executes on the
+        representative target and shows measured vs. estimated numbers
+        per node (``EXPLAIN ANALYZE``)."""
         route = self.plan_route(sql)
         touched = route.shards if route.kind != "gather" else ()
         header = (
@@ -587,16 +658,35 @@ class ShardedBackend(Backend):
             + f" [tables: {', '.join(route.tables) or '-'}]"
         )
         if route.kind == "gather":
-            # Plan from the merged statistics alone — the coordinator's
-            # catalog always carries them, so EXPLAIN never pays the
-            # O(data) gather an execution would (the statement cache is
-            # version-keyed, so a later execute re-plans over real rows).
-            with self._coordinator_lock:
-                detail = self._coordinator.explain(sql).text
+            if analyze:
+                # ANALYZE must measure a real execution, so it pays the
+                # gather a plain EXPLAIN deliberately skips. Barrier
+                # before coordinator lock — the same order the write
+                # path uses.
+                with self._barrier.shared():
+                    with self._coordinator_lock:
+                        self._ensure_gathered(route.tables)
+                        detail = self._coordinator.explain_analyze(sql).text
+            else:
+                # Plan from the merged statistics alone — the
+                # coordinator's catalog always carries them, so EXPLAIN
+                # never pays the O(data) gather an execution would (the
+                # statement cache is version-keyed, so a later execute
+                # re-plans over real rows).
+                with self._coordinator_lock:
+                    detail = self._coordinator.explain(sql).text
         else:
             child = self.children[touched[0]]
             explain = getattr(child, "explain_text", None)
-            detail = explain(sql) if explain else ""
+            if explain is None:
+                detail = ""
+            elif analyze:
+                try:
+                    detail = explain(sql, analyze=True)
+                except TypeError:  # child without the analyze mode
+                    detail = explain(sql)
+            else:
+                detail = explain(sql)
         return f"{header}\n{detail}" if detail else header
 
     # ------------------------------------------------------------------
@@ -608,10 +698,35 @@ class ShardedBackend(Backend):
             return None
         return self._coordinator.catalog.statistics(table)
 
+    #: shard_telemetry's historical flat keys and their canonical metric
+    #: names (the ``docs/OBSERVABILITY.md`` catalog). Both spellings are
+    #: returned; the flat keys are **deprecated aliases** kept for one
+    #: release.
+    TELEMETRY_ALIASES = {
+        "executions": "shards.executions",
+        "pruned": "shards.route.pruned",
+        "scatter": "shards.route.scatter",
+        "gather": "shards.route.gather",
+        "gather_tables": "shards.gather.tables",
+        "gather_rows": "shards.gather.rows",
+        "gather_cells": "shards.gather.cells",
+        "gather_bytes": "shards.gather.bytes",
+        "shards": "shards.count",
+        "shm_results": "shards.shm.results",
+        "shm_bytes": "shards.shm.bytes",
+        "inline_results": "shards.inline.results",
+    }
+
     def shard_telemetry(self) -> Dict[str, int]:
-        """Cumulative route counters (plus the shard count; on the
-        process substrate, also the shared-memory exchange counters
-        summed over the workers)."""
+        """Cumulative route and gather-transfer counters (plus the shard
+        count; on the process substrate, also the shared-memory exchange
+        counters summed over the workers).
+
+        Every counter appears under two keys: its canonical dotted
+        metric name (``shards.route.pruned``, ...) and the historical
+        flat key (``pruned``, ...), the latter a deprecated alias kept
+        for one release — see :data:`TELEMETRY_ALIASES`.
+        """
         with self._telemetry_lock:
             snapshot = dict(self._counters)
         snapshot["shards"] = self.shards
@@ -625,7 +740,25 @@ class ShardedBackend(Backend):
             snapshot["inline_results"] = sum(
                 getattr(child, "inline_results", 0) for child in self.children
             )
+        for old_key, canonical in self.TELEMETRY_ALIASES.items():
+            if old_key in snapshot:
+                snapshot[canonical] = snapshot[old_key]
         return snapshot
+
+    def metrics_snapshot(self) -> Optional[Dict]:
+        """Process-substrate workers' registries, merged into one
+        snapshot (one ``metrics`` RPC per worker — the same batching
+        shape as ``statistics_many``). ``None`` on in-process
+        substrates, whose children record straight into the
+        coordinator's own registry."""
+        if self.substrate != "process":
+            return None
+        merged = MetricsRegistry()
+        for child in self.children:
+            fetch = getattr(child, "metrics_snapshot", None)
+            if fetch is not None:
+                merged.merge_snapshot(fetch())
+        return merged.snapshot()
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -43,6 +43,8 @@ import pickle
 from array import array
 from typing import List, Sequence, Tuple
 
+from repro.obs.metrics import get_registry
+
 #: Environment knob: minimum result cells (rows × columns) before a
 #: worker result moves over shared memory instead of inline pickling.
 SHM_MIN_CELLS_ENV = "REPRO_SHM_MIN_CELLS"
@@ -104,7 +106,11 @@ def pack_columns(
         kind, blob = _pack_column(cells)
         metas.append((kind, len(blob)))
         parts.append(blob)
-    return (nrows, tuple(metas)), b"".join(parts)
+    payload = b"".join(parts)
+    registry = get_registry()
+    registry.inc("repro.shm.pack.calls")
+    registry.inc("repro.shm.pack.bytes", len(payload))
+    return (nrows, tuple(metas)), payload
 
 
 def pack_rows(rows: Sequence[Tuple]) -> Tuple[ResultMeta, bytes]:
@@ -138,4 +144,7 @@ def unpack_rows(buffer, meta: ResultMeta) -> List[Tuple]:
                 f"corrupt shm column: {len(cells)} cells for {nrows} rows"
             )
         columns.append(cells)
+    registry = get_registry()
+    registry.inc("repro.shm.unpack.calls")
+    registry.inc("repro.shm.unpack.rows", nrows)
     return list(zip(*columns))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from typing import List, Optional, Tuple
 
 from repro.engine.catalog import ColumnStats, TableStats
@@ -203,12 +204,27 @@ class SQLiteBackend(Backend):
         self._check_length(sql)
         return self._shadow.estimated_cost(sql)
 
-    def explain_text(self, sql: str) -> str:
-        """SQLite's own EXPLAIN QUERY PLAN output (no numeric costs)."""
+    def explain_text(self, sql: str, analyze: bool = False) -> str:
+        """SQLite's own EXPLAIN QUERY PLAN output (no numeric costs).
+
+        ``analyze=True`` additionally executes the statement and
+        appends the measured total (SQLite exposes no per-node
+        instrumentation, so whole-statement wall time is the best
+        measured-vs-estimated view this backend can give).
+        """
         with self._connection_lock:
             cursor = self._cursor()
             rows = cursor.execute(f"EXPLAIN QUERY PLAN {sql}").fetchall()
-        return "\n".join(str(row) for row in rows)
+            text = "\n".join(str(row) for row in rows)
+            if analyze:
+                started = time.perf_counter()
+                result = cursor.execute(sql).fetchall()
+                elapsed = time.perf_counter() - started
+                text += (
+                    f"\nExecution: {len(result)} rows"
+                    f" in {elapsed * 1000:.3f} ms"
+                )
+        return text
 
     def table_statistics(self, table: str):
         """The shadow planner's statistics for *table* (kept in step with
