@@ -68,23 +68,35 @@ def check(path: str) -> int:
         os.environ.get("REPRO_BENCH_SCALING_FLOOR", "2.0")
     )
     extras = report.get("extras", {})
+    # Overhead contracts priced by the bench suite: extras block name ->
+    # (fraction key, human label). Each asserted block must keep its
+    # measured fraction under the recorded ceiling.
+    overhead_gates = {
+        "obs_overhead": (
+            "disabled_overhead_fraction", "disabled-tracing overhead",
+        ),
+        "fault_tolerance": (
+            "supervision_overhead_fraction", "supervision overhead",
+        ),
+    }
     for name, payload in sorted(extras.items()):
         print(f"  extras.{name}: {payload}")
         if (
-            name == "obs_overhead"
+            name in overhead_gates
             and isinstance(payload, dict)
             and payload.get("overhead_asserted")
         ):
-            fraction = payload.get("disabled_overhead_fraction", 0.0)
+            key, label = overhead_gates[name]
+            fraction = payload.get(key, 0.0)
             ceiling = payload.get("ceiling", 0.05)
             marker = "ok" if fraction < ceiling else "REGRESSION"
             print(
-                f"    disabled-tracing overhead: {fraction:.1%} "
+                f"    {label}: {fraction:.1%} "
                 f"(ceiling {ceiling:.0%}) {marker}"
             )
             if fraction >= ceiling:
                 failures.append(
-                    f"extras.{name}: disabled-tracing overhead {fraction:.1%} "
+                    f"extras.{name}: {label} {fraction:.1%} "
                     f"at or above the {ceiling:.0%} ceiling"
                 )
             continue

@@ -47,6 +47,7 @@ from __future__ import annotations
 import os
 import sys
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -96,6 +97,48 @@ def _env_int(name: str, default: int) -> int:
         return max(1, int(raw))
     except ValueError:
         return default
+
+
+def env_float(name: str, default: float) -> float:
+    """A non-negative float environment knob (malformed values fall back
+    to *default* — a typo'd knob must never take the system down)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return default
+
+
+class Backoff:
+    """A deterministic exponential backoff schedule.
+
+    ``delay(attempt)`` is ``initial * factor**attempt`` capped at *cap*
+    — deliberately jitter-free: retry timing feeds the fault-injection
+    harness (:mod:`repro.faults`), where a failing chaos run must replay
+    identically. The shard workers backing off are per-shard singletons,
+    not a thundering herd, so jitter buys nothing here.
+    """
+
+    def __init__(
+        self, initial: float = 0.05, factor: float = 2.0, cap: float = 1.0
+    ) -> None:
+        if initial < 0 or factor < 1 or cap < 0:
+            raise ValueError("backoff wants initial >= 0, factor >= 1, cap >= 0")
+        self.initial = initial
+        self.factor = factor
+        self.cap = cap
+
+    def delay(self, attempt: int) -> float:
+        """The sleep before retry *attempt* (0-based), in seconds."""
+        return min(self.cap, self.initial * self.factor ** max(0, attempt))
+
+    def sleep(self, attempt: int, sleeper: Callable[[float], None] = None) -> None:
+        """Sleep out retry *attempt*'s delay (injectable for tests)."""
+        seconds = self.delay(attempt)
+        if seconds > 0:
+            (sleeper or time.sleep)(seconds)
 
 
 def gil_enabled() -> bool:

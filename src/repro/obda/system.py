@@ -105,6 +105,7 @@ from repro.serving.concurrency import (
     AdmissionController,
     QueryTimeoutError,
     ReadWriteBarrier,
+    deadline_scope,
 )
 from repro.serving.plan_cache import PlanCache
 from repro.sql.translator import SQLTranslator
@@ -1151,8 +1152,14 @@ class OBDASystem:
         shards_before = telemetry() if telemetry is not None else None
 
         def admitted(query: Union[str, CQ]) -> AnswerReport:
+            # Mark the deadline *inside* the pool task (contextvars do
+            # not flow into pool threads), so storage-layer RPC waits
+            # under this query cap themselves at min(rpc_timeout,
+            # remaining) instead of running on after the serving layer
+            # abandoned the future.
             try:
-                return one(query)
+                with deadline_scope(timeout_seconds):
+                    return one(query)
             finally:
                 admission.release()
 

@@ -14,12 +14,20 @@ Three small, self-contained pieces used by
   cannot flood the executor queue; carries telemetry counters.
 * :class:`QueryTimeoutError` — raised (or collected onto the query's
   report) when one query exceeds the batch's per-query deadline.
+* :func:`deadline_scope` / :func:`current_deadline` — a contextvar
+  carrying the query's **absolute** deadline down the call stack, so
+  storage-layer RPC waits (the sharded backend's worker calls) can cap
+  their own timeouts at ``min(rpc_timeout, remaining)`` instead of
+  letting shard RPCs run on after the serving layer has already
+  abandoned the future.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Tuple
 
 from repro.obs.metrics import get_registry
 
@@ -35,6 +43,55 @@ class QueryTimeoutError(RuntimeError):
     def __init__(self, seconds: float) -> None:
         super().__init__(f"query exceeded its {seconds:g}s deadline")
         self.seconds = seconds
+
+
+#: The active query deadline: ``(absolute monotonic expiry, budget
+#: seconds)`` or ``None``. Contextvars do not flow into pool threads
+#: automatically — ``answer_many`` sets this *inside* each dispatched
+#: task, and the sharded backend reads it at ``execute`` entry (the
+#: same thread) before fanning out.
+_DEADLINE: "contextvars.ContextVar[Optional[Tuple[float, float]]]" = (
+    contextvars.ContextVar("repro_query_deadline", default=None)
+)
+
+
+class deadline_scope:
+    """Context manager marking the current context's query deadline.
+
+    ``deadline_scope(None)`` is a no-op, so callers need not branch on
+    whether a per-query timeout is configured. Scopes nest; the inner
+    one wins for its duration (restored on exit).
+    """
+
+    __slots__ = ("_seconds", "_token")
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self._seconds = seconds
+        self._token = None
+
+    def __enter__(self) -> "deadline_scope":
+        if self._seconds is not None:
+            self._token = _DEADLINE.set(
+                (time.monotonic() + self._seconds, self._seconds)
+            )
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._token is not None:
+            _DEADLINE.reset(self._token)
+
+
+def current_deadline() -> Optional[Tuple[float, float]]:
+    """The active ``(absolute monotonic expiry, budget seconds)``
+    deadline, or ``None`` when the context has none."""
+    return _DEADLINE.get()
+
+
+def remaining_deadline() -> Optional[float]:
+    """Seconds left on the active deadline (negative once blown);
+    ``None`` when the context has none."""
+    deadline = _DEADLINE.get()
+    return None if deadline is None else deadline[0] - time.monotonic()
 
 
 class ReadWriteBarrier:

@@ -22,6 +22,17 @@ only in the coordinator process (see :mod:`repro.storage.shm_exchange`),
 and the parent's ``resource_tracker`` is started *before* the first
 fork so every worker shares it.
 
+Failure handling
+----------------
+Every reply wait runs under the ``REPRO_RPC_TIMEOUT_MS`` deadline
+(``conn.poll``): a dead worker surfaces as :class:`WorkerCrashedError`,
+a silent one as :class:`WorkerTimeoutError`, and either marks the proxy
+*broken* — the request/reply stream is desynchronized, so later calls
+fail fast until the supervision layer (:mod:`repro.storage.supervisor`)
+recycles the worker. Fault injection (:mod:`repro.faults`) hooks the
+request loop so chaos tests can kill, delay, or mute a worker
+deterministically.
+
 Result transport
 ----------------
 ``execute`` replies inline (one pickle) for small results; larger ones
@@ -45,6 +56,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.faults import FaultRuntime, TransientWorkerFault, WorkerFaultConfig
 from repro.obs.metrics import get_registry, reset_registry
 from repro.obs.trace import Tracer
 from repro.storage.base import Backend, Row
@@ -58,6 +70,62 @@ from repro.storage.shm_exchange import (
 
 #: How long ``close`` waits for a worker to exit before terminating it.
 CLOSE_TIMEOUT = 5.0
+
+#: Environment knob: per-RPC deadline in milliseconds. Every reply wait
+#: in :meth:`ProcessShardWorker._call` / the execute handshake runs
+#: under ``conn.poll(timeout)`` with this budget, so a hung or wedged
+#: worker surfaces as a :class:`WorkerTimeoutError` instead of blocking
+#: ``conn.recv()`` forever. ``0`` (or negative) disables the deadline.
+RPC_TIMEOUT_ENV = "REPRO_RPC_TIMEOUT_MS"
+
+#: Default per-RPC deadline: generous against real queries (tier-1
+#: statements run in milliseconds), tight against a genuinely hung
+#: worker.
+DEFAULT_RPC_TIMEOUT_MS = 30_000.0
+
+
+def rpc_timeout_seconds() -> Optional[float]:
+    """The configured per-RPC deadline in seconds (``REPRO_RPC_TIMEOUT_MS``);
+    ``None`` when deadlines are disabled."""
+    raw = os.environ.get(RPC_TIMEOUT_ENV)
+    if raw is None:
+        millis = DEFAULT_RPC_TIMEOUT_MS
+    else:
+        try:
+            millis = float(raw)
+        except ValueError:
+            millis = DEFAULT_RPC_TIMEOUT_MS
+    if millis <= 0:
+        return None
+    return millis / 1000.0
+
+
+class WorkerError(RuntimeError):
+    """Base for coordinator-side worker RPC failures (the transport
+    failed, not the query — see the subclasses). The supervision layer
+    (:mod:`repro.storage.supervisor`) treats any ``WorkerError`` as
+    "this worker must be recycled": after one, the request/reply stream
+    can no longer be trusted."""
+
+
+class WorkerCrashedError(WorkerError):
+    """The worker process died (or its pipe closed) mid-conversation."""
+
+
+class WorkerTimeoutError(WorkerError):
+    """A reply missed the per-RPC deadline (``REPRO_RPC_TIMEOUT_MS``).
+
+    The worker may still be alive and mid-statement — but a late reply
+    can no longer be matched to its request, so the proxy marks itself
+    broken and every later call fails fast until the worker is recycled.
+    """
+
+    def __init__(self, cmd: str, seconds: float) -> None:
+        super().__init__(
+            f"worker reply to {cmd!r} missed its {seconds:g}s RPC deadline"
+        )
+        self.cmd = cmd
+        self.seconds = seconds
 
 #: Live workers, for the atexit backstop (weak: a collected proxy has
 #: already closed or leaked its process, and its daemon flag covers us).
@@ -110,7 +178,12 @@ def _run_execute(backend: Backend, sql: str) -> Tuple[int, List]:
 
 
 def _serve_execute(
-    conn, backend: Backend, sql: str, min_cells: int, traced: bool = False
+    conn,
+    backend: Backend,
+    sql: str,
+    min_cells: int,
+    traced: bool = False,
+    faults: Optional[FaultRuntime] = None,
 ) -> None:
     """Worker side of one ``execute``: inline reply or shm handshake.
 
@@ -120,6 +193,15 @@ def _serve_execute(
     pid for attribution and ``clock="worker"`` — a forked process's
     monotonic clock is not comparable to the coordinator's, so grafted
     durations are meaningful but offsets are not.
+
+    A non-``segment`` message where the segment name is expected is the
+    coordinator **aborting the handshake** (its allocation failed, or a
+    fault was injected): consume it and send nothing, which keeps the
+    request/reply stream synchronized. An injected shm-attach fault
+    raises :class:`~repro.faults.TransientWorkerFault` *before*
+    attaching — the request loop replies with the error, and the
+    coordinator (which is blocked on the write ack) unlinks its segment
+    on that same error path.
     """
     started = time.perf_counter()
     span_dict = None
@@ -154,6 +236,10 @@ def _serve_execute(
     tag, name = conn.recv()
     if tag != "segment":  # coordinator aborted (e.g. allocation failed)
         return
+    if faults is not None and faults.fail_shm_attach():
+        raise TransientWorkerFault(
+            f"injected shm attach failure (segment {name})"
+        )
     from multiprocessing import shared_memory
 
     segment = shared_memory.SharedMemory(name=name)
@@ -164,11 +250,27 @@ def _serve_execute(
     conn.send(("ok", None))
 
 
-def _worker_main(conn, factory: Callable[[], Backend]) -> None:
-    """The worker process: build the backend, serve the request loop."""
+def _worker_main(
+    conn,
+    factory: Callable[[], Backend],
+    fault_config: Optional[WorkerFaultConfig] = None,
+) -> None:
+    """The worker process: build the backend, serve the request loop.
+
+    With a *fault_config* (chaos testing, see :mod:`repro.faults`) every
+    received command first passes the fault runtime, which may kill this
+    process, delay, or swallow the reply. ``KeyboardInterrupt`` /
+    ``SystemExit`` exit the loop cleanly (backend closed, pipe closed)
+    instead of being pickled back as query errors — a Ctrl-C fans out to
+    every forked worker's main thread, and treating it as a query result
+    would mask the shutdown.
+    """
     try:
         backend = factory()
-    except BaseException as exc:
+    except (KeyboardInterrupt, SystemExit):
+        conn.close()
+        return
+    except Exception as exc:
         try:
             conn.send(("error", _sendable(exc)))
         finally:
@@ -181,10 +283,16 @@ def _worker_main(conn, factory: Callable[[], Backend]) -> None:
     # "metrics" command then ships only what *this worker* recorded.
     reset_registry()
     min_cells = shm_min_cells()
+    faults = FaultRuntime(fault_config) if fault_config is not None else None
     while True:
         try:
             cmd, payload = conn.recv()
         except (EOFError, OSError):
+            break
+        except (KeyboardInterrupt, SystemExit):
+            # A Ctrl-C fans out to every forked worker while it is
+            # blocked here; exit the loop cleanly (backend closed, pipe
+            # closed, exit code 0) instead of dying with a traceback.
             break
         if cmd == "close":
             try:
@@ -192,11 +300,17 @@ def _worker_main(conn, factory: Callable[[], Backend]) -> None:
             except (BrokenPipeError, OSError):
                 pass
             break
+        if faults is not None and faults.before_command(cmd) == "drop":
+            # Swallow the reply: the coordinator's RPC deadline is what
+            # turns this into a WorkerTimeoutError instead of a hang.
+            continue
         try:
             if cmd == "execute":
-                _serve_execute(conn, backend, payload, min_cells)
+                _serve_execute(conn, backend, payload, min_cells, faults=faults)
             elif cmd == "execute_traced":
-                _serve_execute(conn, backend, payload, min_cells, traced=True)
+                _serve_execute(
+                    conn, backend, payload, min_cells, traced=True, faults=faults
+                )
             elif cmd == "metrics":
                 conn.send(("ok", get_registry().snapshot()))
             elif cmd == "load":
@@ -236,7 +350,9 @@ def _worker_main(conn, factory: Callable[[], Backend]) -> None:
                 )
             else:
                 conn.send(("error", RuntimeError(f"unknown command {cmd!r}")))
-        except BaseException as exc:
+        except (KeyboardInterrupt, SystemExit):
+            break
+        except Exception as exc:
             try:
                 conn.send(("error", _sendable(exc)))
             except (BrokenPipeError, OSError):
@@ -290,6 +406,8 @@ class ProcessShardWorker(Backend):
         factory: Callable[[], Backend],
         shard: int = 0,
         label: str = "shard",
+        rpc_timeout: Optional[float] = None,
+        fault_config: Optional[WorkerFaultConfig] = None,
     ) -> None:
         import multiprocessing
         from multiprocessing import resource_tracker
@@ -303,7 +421,7 @@ class ProcessShardWorker(Backend):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self._process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, factory),
+            args=(child_conn, factory, fault_config),
             daemon=True,
             name=f"repro-{label}-{shard}",
         )
@@ -312,13 +430,24 @@ class ProcessShardWorker(Backend):
         self._conn = parent_conn
         self._lock = threading.Lock()
         self._closed = False
+        #: Set after any transport-level failure (crash, missed RPC
+        #: deadline): the request/reply stream is desynchronized, so
+        #: every later call fails fast with ``WorkerCrashedError`` until
+        #: the supervision layer recycles this proxy.
+        self._broken = False
         self.shard = shard
+        self.name = f"worker[{label}-{shard}]"
+        #: Per-RPC reply deadline in seconds (``None`` = wait forever);
+        #: default from ``REPRO_RPC_TIMEOUT_MS``.
+        self.rpc_timeout = (
+            rpc_timeout_seconds() if rpc_timeout is None else rpc_timeout
+        )
         self.last_execution: Optional[WorkerExecution] = None
         #: Cumulative transport counters (merged into shard telemetry).
         self.shm_results = 0
         self.shm_bytes = 0
         self.inline_results = 0
-        tag, value = self._recv()
+        tag, value = self._recv(timeout=self.rpc_timeout, cmd="startup")
         if tag != "ok":  # factory failed inside the worker
             self._abandon()
             raise value
@@ -329,18 +458,86 @@ class ProcessShardWorker(Backend):
     # ------------------------------------------------------------------
     # RPC plumbing
     # ------------------------------------------------------------------
-    def _recv(self):
-        reply = self._conn.recv()
+    @property
+    def pid(self) -> Optional[int]:
+        """The worker process's pid (chaos tests SIGKILL through this)."""
+        return self._process.pid
+
+    @property
+    def sentinel(self) -> int:
+        """The process sentinel fd, for ``multiprocessing.connection.
+        wait``-based death polling by the supervisor's monitor."""
+        return self._process.sentinel
+
+    def is_alive(self) -> bool:
+        """Whether this proxy is still usable: open, stream trusted,
+        and the worker process running."""
+        return (
+            not self._closed
+            and not self._broken
+            and self._process.is_alive()
+        )
+
+    def _mark_broken(self) -> None:
+        self._broken = True
+
+    def _send(self, message) -> None:
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._mark_broken()
+            raise WorkerCrashedError(
+                f"{self.name} (shard {self.shard}) pipe closed during send"
+            ) from exc
+
+    def _recv(self, timeout: Optional[float] = None, cmd: str = "rpc"):
+        """One reply off the pipe, under an optional deadline.
+
+        ``conn.poll`` returns ready when data *or* EOF is pending, so a
+        dead worker surfaces immediately as ``WorkerCrashedError``, not
+        as a full deadline wait; only a genuinely silent worker runs the
+        clock out into ``WorkerTimeoutError``. Both mark the proxy
+        broken — an eventual late reply could not be matched to its
+        request.
+        """
+        if timeout is not None:
+            try:
+                ready = self._conn.poll(timeout)
+            except (BrokenPipeError, OSError) as exc:
+                self._mark_broken()
+                raise WorkerCrashedError(
+                    f"{self.name} (shard {self.shard}) pipe failed in poll"
+                ) from exc
+            if not ready:
+                self._mark_broken()
+                raise WorkerTimeoutError(cmd, timeout)
+        try:
+            reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            self._mark_broken()
+            raise WorkerCrashedError(
+                f"{self.name} (shard {self.shard}) died mid-conversation"
+            ) from exc
         if reply[0] == "error":
             raise reply[1]
         return reply
 
-    def _call(self, cmd: str, payload=None):
+    def _check_usable(self) -> None:
         if self._closed:
             raise RuntimeError("ProcessShardWorker is closed")
+        if self._broken:
+            raise WorkerCrashedError(
+                f"{self.name} (shard {self.shard}) stream is broken; "
+                "the worker must be recycled"
+            )
+
+    def _call(self, cmd: str, payload=None, timeout: Optional[float] = None):
+        self._check_usable()
+        if timeout is None:
+            timeout = self.rpc_timeout
         with self._lock:
-            self._conn.send((cmd, payload))
-            tag, value = self._recv()
+            self._send((cmd, payload))
+            tag, value = self._recv(timeout=timeout, cmd=cmd)
         if tag != "ok":  # pragma: no cover - protocol violation
             raise RuntimeError(f"unexpected worker reply {tag!r}")
         return value
@@ -352,26 +549,38 @@ class ProcessShardWorker(Backend):
         """Ship the shard's slice of the layout into the worker."""
         self._call("load", data)
 
-    def execute(self, sql: str) -> List[Row]:
-        """Evaluate *sql* in the worker; decode the columnar reply."""
-        rows, _span = self._execute_rpc("execute", sql)
+    def execute(self, sql: str, timeout: Optional[float] = None) -> List[Row]:
+        """Evaluate *sql* in the worker; decode the columnar reply.
+        *timeout* overrides the per-RPC deadline for this statement."""
+        rows, _span = self._execute_rpc("execute", sql, timeout)
         return rows
 
-    def execute_traced(self, sql: str) -> Tuple[List[Row], Optional[Dict]]:
+    def execute_traced(
+        self, sql: str, timeout: Optional[float] = None
+    ) -> Tuple[List[Row], Optional[Dict]]:
         """Evaluate *sql* with a worker-local trace; returns the rows
         plus the worker's span subtree as a plain dict (``None`` only if
         the worker produced none), ready for :meth:`repro.obs.trace.
         Span.graft` into the coordinator's trace."""
-        return self._execute_rpc("execute_traced", sql)
+        return self._execute_rpc("execute_traced", sql, timeout)
 
     def _execute_rpc(
-        self, cmd: str, sql: str
+        self, cmd: str, sql: str, timeout: Optional[float] = None
     ) -> Tuple[List[Row], Optional[Dict]]:
-        if self._closed:
-            raise RuntimeError("ProcessShardWorker is closed")
+        self._check_usable()
+        if timeout is None:
+            timeout = self.rpc_timeout
+        # One deadline covers the whole conversation (result reply plus
+        # the shm write ack), so a handshake cannot stretch one logical
+        # RPC to N deadlines.
+        expiry = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> Optional[float]:
+            return None if expiry is None else expiry - time.monotonic()
+
         with self._lock:
-            self._conn.send((cmd, sql))
-            tag, payload = self._recv()
+            self._send((cmd, sql))
+            tag, payload = self._recv(timeout=remaining(), cmd=cmd)
             if tag == "rows":
                 rows, batches, span = payload
                 transport = "inline"
@@ -380,12 +589,25 @@ class ProcessShardWorker(Backend):
                 nbytes, meta, batches, span = payload
                 from multiprocessing import shared_memory
 
-                segment = shared_memory.SharedMemory(
-                    create=True, size=max(1, nbytes)
-                )
                 try:
-                    self._conn.send(("segment", segment.name))
-                    self._recv()  # worker's write ack (or raised error)
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=max(1, nbytes)
+                    )
+                except Exception:
+                    # Abort the handshake explicitly: the worker is
+                    # blocked waiting for a segment name, and without
+                    # this message it would swallow the *next* command
+                    # tuple as the name and desynchronize the stream.
+                    self._send(("abort", None))
+                    raise
+                try:
+                    self._send(("segment", segment.name))
+                    # Worker's write ack (or its error). The finally
+                    # guarantees the coordinator-created segment is
+                    # unlinked even when the worker dies or times out
+                    # between create and attach — segments must never
+                    # outlive the RPC that allocated them.
+                    self._recv(timeout=remaining(), cmd=cmd)
                     rows = unpack_rows(segment.buf, meta)
                 finally:
                     segment.close()
@@ -464,20 +686,57 @@ class ProcessShardWorker(Backend):
             self._process.join(timeout=1.0)
         self._process.close()
 
+    def kill(self) -> None:
+        """Hard teardown without the close handshake. Idempotent.
+
+        The supervision layer discards crashed or timed-out workers
+        through this: after a transport failure the stream cannot carry
+        the ``close`` exchange, and a wedged worker would make the
+        graceful path wait out :data:`CLOSE_TIMEOUT` for nothing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._broken = True
+        try:
+            self._process.terminate()
+        except (ValueError, OSError):  # pragma: no cover - already gone
+            pass
+        self._process.join(timeout=CLOSE_TIMEOUT)
+        if self._process.is_alive():  # pragma: no cover - unkillable
+            self._process.kill()
+            self._process.join(timeout=1.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.exit_code = self._process.exitcode
+        self._process.close()
+        _LIVE_WORKERS.discard(self)
+
     def close(self) -> None:
         """Stop the worker deterministically. Idempotent.
 
         Sends ``close`` and joins; a worker that fails to exit within
-        :data:`CLOSE_TIMEOUT` is terminated. Safe to call from atexit.
+        :data:`CLOSE_TIMEOUT` is terminated. A proxy whose stream broke
+        (crash / missed deadline) skips the handshake and goes straight
+        to the hard path. Safe to call from atexit.
         """
         if self._closed:
+            return
+        if self._broken:
+            self.kill()
             return
         self._closed = True
         try:
             with self._lock:
                 self._conn.send(("close", None))
                 try:
-                    self._conn.recv()
+                    # Bounded ack wait: a wedged worker must not stall
+                    # interpreter exit; the join below escalates to
+                    # terminate anyway.
+                    if self._conn.poll(CLOSE_TIMEOUT):
+                        self._conn.recv()
                 except EOFError:
                     pass
         except (BrokenPipeError, OSError):

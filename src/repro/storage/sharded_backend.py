@@ -37,6 +37,16 @@ over shared memory (:mod:`repro.storage.shm_exchange`) instead of
 per-row pickles. ``auto`` prefers ``process`` exactly when it pays:
 stock-GIL CPython on a multi-core box.
 
+On the process substrate every worker sits behind a
+:class:`~repro.storage.supervisor.SupervisedShardWorker` by default
+(``REPRO_SUPERVISE``): worker death is detected, the worker respawned
+and rebuilt to the shard's current epoch, RPCs carry deadlines
+(``REPRO_RPC_TIMEOUT_MS``) with bounded retries, and a shard whose
+respawns keep failing degrades to in-coordinator execution behind a
+circuit breaker — identical answers, louder telemetry. See
+``docs/ROBUSTNESS.md`` and the deterministic fault harness in
+:mod:`repro.faults`.
+
 Writes route per shard: ``apply_changes`` splits each table's delta by
 the shard key and applies every child's slice under one exclusive
 read/write barrier, so a concurrently executing query observes either
@@ -66,14 +76,20 @@ from repro.engine.errors import StatementTooLongError, UnknownTableError
 from repro.engine.parallel import ParallelContext, resolve_substrate
 from repro.engine.planner import ShardRoute, analyze_shard_route
 from repro.engine.sqlparser import parse_sql
+from repro.faults import FaultInjector, FaultPlan
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.obs.trace import NO_SPAN, current_span
-from repro.serving.concurrency import ReadWriteBarrier
+from repro.obs.trace import NO_SPAN, activate, current_span
+from repro.serving.concurrency import ReadWriteBarrier, current_deadline
 from repro.storage.base import Backend, Row
 from repro.storage.layouts import LayoutData, TableSpec
 from repro.storage.memory_backend import MemoryBackend
 from repro.storage.process_workers import ProcessShardWorker
 from repro.storage.sqlite_backend import SQLiteBackend
+from repro.storage.supervisor import (
+    ShardSupervisor,
+    SupervisionConfig,
+    supervision_enabled,
+)
 
 #: Environment knob: thread count for scatter/gather fan-out (default:
 #: one thread per shard, capped at the CPU count).
@@ -159,6 +175,8 @@ class ShardedBackend(Backend):
         max_statement_length: Optional[int] = None,
         cost_parameters: ShardCostParameters = DEFAULT_SHARD_COSTS,
         substrate: Optional[str] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -176,14 +194,33 @@ class ShardedBackend(Backend):
         self.shards = shards
         #: The resolved execution substrate under the shards.
         self.substrate = resolve_substrate(substrate, prefer_processes=True)
+        self._supervisor: Optional[ShardSupervisor] = None
         if self.substrate == "process":
             # One long-lived forked engine worker per shard; the child
             # backend is built *inside* its worker, never coordinator-
-            # side, so shard tables live only in worker memory.
-            self.children: List[Backend] = [
-                ProcessShardWorker(child_factory, shard)
-                for shard in range(shards)
-            ]
+            # side, so shard tables live only in worker memory. By
+            # default each worker sits behind a SupervisedShardWorker
+            # (respawn on death, RPC retry, circuit-breaker
+            # degradation); REPRO_SUPERVISE=0 opts back into raw
+            # workers, where any crash is the caller's problem.
+            if supervision is not None or supervision_enabled():
+                injector = fault_injector
+                if injector is None:
+                    plan = FaultPlan.from_env()
+                    if plan is not None and plan.enabled:
+                        injector = FaultInjector(plan)
+                self._supervisor = ShardSupervisor(
+                    child_factory,
+                    shards,
+                    config=supervision,
+                    injector=injector,
+                )
+                self.children: List[Backend] = list(self._supervisor.workers)
+            else:
+                self.children = [
+                    ProcessShardWorker(child_factory, shard)
+                    for shard in range(shards)
+                ]
         else:
             self.children = [child_factory() for _ in range(shards)]
         self.name = f"sharded[{shards}x{self.children[0].name}]"
@@ -452,6 +489,11 @@ class ShardedBackend(Backend):
         self._check_length(sql)
         if route is None:
             route = self.plan_route(sql)
+        # The serving deadline rides the *caller's* contextvar; capture
+        # it here (same thread) so fan-out legs on pool threads — where
+        # contextvars do not flow — can cap their worker RPC waits at
+        # min(rpc_timeout, remaining).
+        deadline = current_deadline()
         with self._barrier.shared():
             with current_span().child(
                 "shards.execute",
@@ -462,7 +504,9 @@ class ShardedBackend(Backend):
                 if route.kind == "gather":
                     rows, stats = self._execute_gather(sql, route, span)
                 else:
-                    rows, stats = self._execute_shards(sql, route, span)
+                    rows, stats = self._execute_shards(
+                        sql, route, span, deadline
+                    )
                 span.set(rows=len(rows), batches=stats.batches)
         stats.shard_count = self.shards
         stats.substrate = self.substrate
@@ -476,7 +520,11 @@ class ShardedBackend(Backend):
         return rows
 
     def _execute_shards(
-        self, sql: str, route: ShardRoute, parent=NO_SPAN
+        self,
+        sql: str,
+        route: ShardRoute,
+        parent=NO_SPAN,
+        deadline: Optional[Tuple[float, float]] = None,
     ) -> Tuple[List[Row], ShardExecutionStats]:
         targets = route.shards
 
@@ -485,19 +533,29 @@ class ShardedBackend(Backend):
         def one(index: int) -> Tuple[int, List[Row], int]:
             shard = targets[index]
             child = self.children[shard]
+            # Children advertising ``supports_deadline`` (supervised
+            # workers) take the captured serving deadline per call.
+            extra = (
+                {"deadline": deadline}
+                if deadline is not None
+                and getattr(child, "supports_deadline", False)
+                else {}
+            )
             with parent.child("shard.execute", shard=shard) as span:
-                traced = (
-                    getattr(child, "execute_traced", None)
-                    if span.enabled
-                    else None
-                )
-                if traced is not None:
-                    # Process-substrate child: the worker builds its own
-                    # span subtree and ships it back over the pipe RPC.
-                    rows, worker_span = traced(sql)
-                    span.graft(worker_span)
-                else:
-                    rows = child.execute(sql)
+                with activate(span):
+                    traced = (
+                        getattr(child, "execute_traced", None)
+                        if span.enabled
+                        else None
+                    )
+                    if traced is not None:
+                        # Process-substrate child: the worker builds its
+                        # own span subtree and ships it back over the
+                        # pipe RPC.
+                        rows, worker_span = traced(sql, **extra)
+                        span.graft(worker_span)
+                    else:
+                        rows = child.execute(sql, **extra)
                 execution = getattr(child, "last_execution", None)
                 batches = getattr(execution, "batches", 0) if execution else 0
                 span.set(rows=len(rows), batches=batches)
@@ -715,6 +773,13 @@ class ShardedBackend(Backend):
         "shm_results": "shards.shm.results",
         "shm_bytes": "shards.shm.bytes",
         "inline_results": "shards.inline.results",
+        "worker_restarts": "worker.restarts",
+        "rpc_retries": "rpc.retries",
+        "rpc_deadline_exceeded": "rpc.deadline_exceeded",
+        "circuit_trips": "circuit.trips",
+        "circuit_recoveries": "circuit.recoveries",
+        "circuit_open_shards": "circuit.open_shards",
+        "degraded_executions": "worker.degraded.executions",
     }
 
     def shard_telemetry(self) -> Dict[str, int]:
@@ -740,6 +805,8 @@ class ShardedBackend(Backend):
             snapshot["inline_results"] = sum(
                 getattr(child, "inline_results", 0) for child in self.children
             )
+        if self._supervisor is not None:
+            snapshot.update(self._supervisor.telemetry())
         for old_key, canonical in self.TELEMETRY_ALIASES.items():
             if old_key in snapshot:
                 snapshot[canonical] = snapshot[old_key]
@@ -764,6 +831,11 @@ class ShardedBackend(Backend):
     def close(self) -> None:
         """Release the children, the coordinator and the pool. Idempotent."""
         self._closed = True
+        if self._supervisor is not None:
+            # Stops the monitor thread before the workers go down, then
+            # closes every supervised worker (their own close is
+            # idempotent, so the loop below is harmless).
+            self._supervisor.close()
         for child in self.children:
             child.close()
         self._coordinator.close()
