@@ -1,0 +1,124 @@
+"""Measured recalibration of the engine cost model at scale.
+
+The engine ships :class:`~repro.engine.operators.CostParameters` with
+hand-tuned relative constants. Once the streaming generator can load
+100k-1M facts, those constants can instead be *measured*: this module
+times four micro-operations over a loaded backend's real tables —
+sequential scan, DISTINCT dedup, single-key hash probes, and a key-key
+hash join — and converts the wall-clock per-row figures into the cost
+model's unit system, in which ``seq_scan_per_row`` is the numeraire
+(1.0 by definition). :func:`calibrate_cost_parameters` returns the
+recalibrated parameters together with the raw measurements; the scale
+benchmarks record both per scale tier into ``BENCH_engine.json``.
+
+Scan and dedup are timed through ``backend.execute`` (one statement
+amortized over every row); probe and join are timed as in-process hash
+kernels over the fetched rows — the same dict-bucket primitives
+:class:`~repro.engine.relation.Index` and the vectorized hash join are
+built from — because per-statement parse overhead would otherwise
+swamp a per-probe figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.engine.operators import CostParameters
+
+#: Floor for every derived constant — measurement noise must never
+#: produce a zero/negative cost that the planner would chase.
+MIN_UNITS = 0.01
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def calibrate_cost_parameters(
+    backend,
+    scan_table: str = "r_takesCourse",
+    join_table: str = "r_advisor",
+    probes: int = 10_000,
+    repeats: int = 3,
+    base: Optional[CostParameters] = None,
+) -> Tuple[CostParameters, Dict[str, float]]:
+    """Measure unit costs on *backend*'s loaded generated tables.
+
+    *scan_table* and *join_table* name loaded binary (``s``, ``o``)
+    tables that join on ``s`` (defaults match the streaming generator's
+    two largest roles). Returns ``(parameters, measurements)`` where
+    *parameters* is *base* (default :class:`CostParameters`) with the
+    measured relative constants substituted, and *measurements* holds
+    the raw row counts and per-row wall-clock figures the constants
+    were derived from.
+    """
+    base = base or CostParameters()
+    rows = backend.execute(f"SELECT s, o FROM {scan_table}")
+    join_rows = backend.execute(f"SELECT s, o FROM {join_table}")
+    if not rows or not join_rows:
+        raise ValueError(
+            f"calibration needs loaded rows in {scan_table!r} and "
+            f"{join_table!r}"
+        )
+    stats = backend.table_statistics(scan_table)
+    cardinality = stats.cardinality if stats is not None else len(rows)
+
+    scan_s = _best_of(
+        lambda: backend.execute(f"SELECT s, o FROM {scan_table}"), repeats
+    )
+    dedup_s = _best_of(
+        lambda: backend.execute(f"SELECT DISTINCT s FROM {scan_table}"),
+        repeats,
+    )
+    #: Seconds per cost-model unit: scanning one row costs 1.0 units.
+    unit = max(scan_s / len(rows), 1e-9)
+
+    # Hash-build / hash-probe: the dict kernel the executor's join and
+    # Index buckets are made of, over the real (already decoded) rows.
+    def build():
+        buckets: Dict[object, list] = {}
+        for row in join_rows:
+            buckets.setdefault(row[0], []).append(row)
+        return buckets
+
+    build_s = _best_of(build, repeats)
+    buckets = build()
+
+    keys = [row[0] for row in rows[:probes]]
+
+    def probe():
+        get = buckets.get
+        for key in keys:
+            get(key)
+
+    probe_s = _best_of(probe, repeats)
+
+    measurements = {
+        "rows_scanned": len(rows),
+        "cardinality": cardinality,
+        "join_rows": len(join_rows),
+        "probes": len(keys),
+        "seq_scan_s": scan_s,
+        "distinct_s": dedup_s,
+        "hash_build_s": build_s,
+        "hash_probe_s": probe_s,
+        "unit_s": unit,
+    }
+    parameters = replace(
+        base,
+        seq_scan_per_row=1.0,
+        dedup_per_row=max(MIN_UNITS, (dedup_s - scan_s) / len(rows) / unit),
+        hash_build_per_row=max(
+            MIN_UNITS, build_s / len(join_rows) / unit
+        ),
+        hash_probe_per_row=max(MIN_UNITS, probe_s / len(keys) / unit),
+        index_probe_per_row=max(MIN_UNITS, probe_s / len(keys) / unit),
+    )
+    return parameters, measurements

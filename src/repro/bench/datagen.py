@@ -1,0 +1,401 @@
+"""Streaming, seeded LUBM-class data generation at real scale.
+
+The EUDG-style generator in :mod:`repro.bench.generator` materializes a
+whole :class:`~repro.dllite.abox.ABox` in memory, which caps benchmarks
+at toy sizes. This module is its scale sibling: a **streaming** generator
+driven by a numeric *scale factor* (the approximate number of facts)
+that yields universities/departments/people/courses as bounded fact
+batches — the full dataset never exists in memory at once, so 1M-10M
+triples generate in constant space and pour straight into a backend's
+:meth:`~repro.storage.base.Backend.bulk_load` fast path.
+
+Determinism: every department derives its own :class:`random.Random`
+from ``(seed, university, department)`` arithmetic, so a given
+``(scale_factor, seed)`` pair always produces the byte-identical fact
+stream — independently of batch size, and without any cross-department
+RNG coupling (departments could even generate in parallel).
+
+The vocabulary is a subset of the LUBM∃ signature
+(:mod:`repro.bench.lubm`), so generated data answers the Fig 2/3
+benchmark queries after reformulation against ``lubm_exists_tbox()``.
+
+CLI::
+
+    python -m repro.bench.datagen --scale-factor 100000 --seed 7 --counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.storage.dictionary import Dictionary
+from repro.storage.layouts import LayoutData, SimpleLayout, TableSpec
+
+#: A streamed fact: ``("c", concept, individual)`` or
+#: ``("r", role, subject, object)``.
+Fact = Tuple[str, ...]
+
+#: Concepts the generator asserts (a subset of the LUBM∃ signature).
+CONCEPTS: Tuple[str, ...] = (
+    "University",
+    "Department",
+    "FullProfessor",
+    "AssociateProfessor",
+    "AssistantProfessor",
+    "Lecturer",
+    "GraduateCourse",
+    "UndergraduateCourse",
+    "GraduateStudent",
+    "UndergraduateStudent",
+    "JournalArticle",
+    "ConferencePaper",
+)
+
+#: Roles the generator asserts (a subset of the LUBM∃ signature).
+ROLES: Tuple[str, ...] = (
+    "subOrganizationOf",
+    "worksFor",
+    "headOf",
+    "doctoralDegreeFrom",
+    "offersCourse",
+    "teacherOf",
+    "memberOf",
+    "takesCourse",
+    "advisor",
+    "undergraduateDegreeFrom",
+    "orgPublication",
+    "publicationAuthor",
+)
+
+PROFESSOR_RANKS = ("FullProfessor", "AssociateProfessor", "AssistantProfessor")
+
+#: Departments per university (name partitioning only; does not affect
+#: the per-department fact schedule).
+DEPARTMENTS_PER_UNIVERSITY = 10
+
+#: Facts one department emits, excluding its university's own facts —
+#: the deterministic per-department schedule below adds up to exactly
+#: this. ``scale_factor`` maps to a department count through it.
+FACTS_PER_DEPARTMENT = 223
+
+#: Default batch width for :func:`stream_batches` (rows resident at once).
+DEFAULT_BATCH_ROWS = 20_000
+
+
+def departments_for(scale_factor: int) -> int:
+    """How many departments approximate *scale_factor* facts."""
+    if scale_factor < 1:
+        raise ValueError("scale_factor must be positive")
+    return max(1, round(scale_factor / FACTS_PER_DEPARTMENT))
+
+
+def _department_rng(seed: int, university: int, department: int) -> random.Random:
+    """The department's private RNG: pure arithmetic on the triple, so
+    the stream is hash-salt-independent and departments are decoupled."""
+    return random.Random(
+        (seed * 2_654_435_761 + university * 1_000_003 + department * 8191)
+        % (2**63)
+    )
+
+
+def _department_facts(
+    seed: int, university: int, department: int
+) -> Iterator[Fact]:
+    """One department's facts (exactly :data:`FACTS_PER_DEPARTMENT`)."""
+    rng = _department_rng(seed, university, department)
+    univ = f"Univ{university}"
+    dept = f"Dept{university}_{department}"
+    yield ("c", "Department", dept)
+    yield ("r", "subOrganizationOf", dept, univ)
+
+    professors: List[str] = []
+    for rank in PROFESSOR_RANKS:
+        for i in range(2):
+            person = f"{rank}{university}_{department}_{i}"
+            professors.append(person)
+            yield ("c", rank, person)
+            yield ("r", "worksFor", person, dept)
+            yield (
+                "r",
+                "doctoralDegreeFrom",
+                person,
+                f"Univ{rng.randrange(university + 1)}",
+            )
+    yield ("r", "headOf", rng.choice(professors), dept)
+
+    lecturers: List[str] = []
+    for i in range(2):
+        person = f"Lecturer{university}_{department}_{i}"
+        lecturers.append(person)
+        yield ("c", "Lecturer", person)
+        yield ("r", "worksFor", person, dept)
+
+    courses: List[str] = []
+    graduate_courses: List[str] = []
+    for i in range(4):
+        course = f"GradCourse{university}_{department}_{i}"
+        graduate_courses.append(course)
+        courses.append(course)
+        yield ("c", "GraduateCourse", course)
+        yield ("r", "offersCourse", dept, course)
+        yield ("r", "teacherOf", rng.choice(professors), course)
+    for i in range(6):
+        course = f"Course{university}_{department}_{i}"
+        courses.append(course)
+        yield ("c", "UndergraduateCourse", course)
+        yield ("r", "offersCourse", dept, course)
+        yield ("r", "teacherOf", rng.choice(professors + lecturers), course)
+
+    for i in range(8):
+        student = f"GradStudent{university}_{department}_{i}"
+        yield ("c", "GraduateStudent", student)
+        yield ("r", "memberOf", student, dept)
+        for course in rng.sample(graduate_courses, 2):
+            yield ("r", "takesCourse", student, course)
+        yield ("r", "advisor", student, rng.choice(professors))
+        yield (
+            "r",
+            "undergraduateDegreeFrom",
+            student,
+            f"Univ{rng.randrange(university + 1)}",
+        )
+    for i in range(16):
+        student = f"UndergradStudent{university}_{department}_{i}"
+        yield ("c", "UndergraduateStudent", student)
+        yield ("r", "memberOf", student, dept)
+        for course in rng.sample(courses, 3):
+            yield ("r", "takesCourse", student, course)
+
+    for i in range(10):
+        paper = f"Paper{university}_{department}_{i}"
+        kind = rng.choice(("JournalArticle", "ConferencePaper"))
+        yield ("c", kind, paper)
+        yield ("r", "orgPublication", dept, paper)
+        yield ("r", "publicationAuthor", paper, rng.choice(professors))
+        yield (
+            "r",
+            "publicationAuthor",
+            paper,
+            f"GradStudent{university}_{department}_{rng.randrange(8)}",
+        )
+
+
+def stream_facts(scale_factor: int, seed: int = 2016) -> Iterator[Fact]:
+    """Lazily yield a deterministic LUBM-class fact stream of roughly
+    *scale_factor* facts. Never materializes the dataset: at any moment
+    only one department's generator frame is live."""
+    departments = departments_for(scale_factor)
+    for index in range(departments):
+        university, department = divmod(index, DEPARTMENTS_PER_UNIVERSITY)
+        if department == 0:
+            yield ("c", "University", f"Univ{university}")
+        yield from _department_facts(seed, university, department)
+
+
+def stream_batches(
+    scale_factor: int,
+    seed: int = 2016,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+) -> Iterator[List[Fact]]:
+    """The fact stream chunked into lists of at most *batch_rows* facts.
+
+    Chunking wraps the one underlying stream, so the concatenation of
+    batches is byte-identical for every *batch_rows* — only the cut
+    points move.
+    """
+    if batch_rows < 1:
+        raise ValueError("batch_rows must be positive")
+    batch: List[Fact] = []
+    for fact in stream_facts(scale_factor, seed):
+        batch.append(fact)
+        if len(batch) >= batch_rows:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def exact_fact_count(scale_factor: int) -> int:
+    """The exact stream length for *scale_factor* (departments times the
+    fixed schedule, plus one ``University`` fact per university)."""
+    departments = departments_for(scale_factor)
+    universities = -(-departments // DEPARTMENTS_PER_UNIVERSITY)
+    return departments * FACTS_PER_DEPARTMENT + universities
+
+
+# ---------------------------------------------------------------------------
+# Encoding facts into simple-layout tables
+# ---------------------------------------------------------------------------
+def generated_schema(tbox=None) -> List[TableSpec]:
+    """The simple-layout schema (no rows) the generated stream loads
+    into: one unary/binary table per predicate of the generator's
+    signature — extended to the whole TBox signature when *tbox* is
+    given, so reformulations can mention fact-less predicates."""
+    concepts = set(CONCEPTS)
+    roles = set(ROLES)
+    if tbox is not None:
+        concepts |= set(tbox.concept_names())
+        roles |= set(tbox.role_names())
+    specs: List[TableSpec] = []
+    for concept in sorted(concepts):
+        specs.append(
+            TableSpec(
+                name=SimpleLayout.concept_table(concept),
+                columns=("s",),
+                rows=[],
+                indexes=(("s",),),
+            )
+        )
+    for role in sorted(roles):
+        specs.append(
+            TableSpec(
+                name=SimpleLayout.role_table(role),
+                columns=("s", "o"),
+                rows=[],
+                indexes=(("s",), ("o",), ("s", "o")),
+            )
+        )
+    return specs
+
+
+def encode_batch(
+    batch: Iterable[Fact], dictionary: Dictionary
+) -> Dict[str, List[Tuple]]:
+    """Dictionary-encode one fact batch into per-table row batches
+    (simple-layout table names, int rows — the compact column storage
+    that lets millions of triples fit in memory)."""
+    encode = dictionary.encode
+    tables: Dict[str, List[Tuple]] = {}
+    for fact in batch:
+        if fact[0] == "c":
+            name = SimpleLayout.concept_table(fact[1])
+            row: Tuple = (encode(fact[2]),)
+        else:
+            name = SimpleLayout.role_table(fact[1])
+            row = (encode(fact[2]), encode(fact[3]))
+        rows = tables.get(name)
+        if rows is None:
+            tables[name] = [row]
+        else:
+            rows.append(row)
+    return tables
+
+
+def load_generated(
+    backend,
+    scale_factor: int,
+    seed: int = 2016,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    dictionary: Optional[Dictionary] = None,
+    tbox=None,
+    incremental: bool = False,
+    batch_sink: Optional[Callable[[int], None]] = None,
+) -> Tuple[int, Dictionary]:
+    """Generate and load roughly *scale_factor* facts into *backend*.
+
+    The default path streams batches through the backend's
+    :meth:`~repro.storage.base.Backend.bulk_load` session (deferred
+    indexes, one statistics build). ``incremental=True`` instead loads
+    the empty schema and pushes every batch through ``insert_rows`` —
+    the slow path the bulk API is benchmarked against. *batch_sink*, if
+    given, is called with each batch's row count (tests assert streaming
+    residency through it). Returns ``(facts loaded, dictionary)``.
+    """
+    dictionary = dictionary or Dictionary()
+    schema = generated_schema(tbox)
+    total = 0
+    batches = stream_batches(scale_factor, seed, batch_rows)
+    if incremental:
+        backend.load(LayoutData(tables=schema))
+        for batch in batches:
+            if batch_sink is not None:
+                batch_sink(len(batch))
+            total += len(batch)
+            for table, rows in encode_batch(batch, dictionary).items():
+                backend.insert_rows(table, rows)
+    else:
+        with backend.bulk_load() as loader:
+            for spec in schema:
+                loader.create_table(
+                    spec.name, spec.columns, spec.indexes, spec.shard_key
+                )
+            for batch in batches:
+                if batch_sink is not None:
+                    batch_sink(len(batch))
+                total += len(batch)
+                for table, rows in encode_batch(batch, dictionary).items():
+                    loader.append(table, rows)
+    return total, dictionary
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.bench.datagen``: stream, count, or load."""
+    parser = argparse.ArgumentParser(
+        description="Streaming LUBM-class fact generator"
+    )
+    parser.add_argument(
+        "--scale-factor",
+        type=int,
+        default=10_000,
+        help="approximate number of facts to generate",
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--batch-rows",
+        type=int,
+        default=DEFAULT_BATCH_ROWS,
+        help="facts resident per batch (streaming memory bound)",
+    )
+    parser.add_argument(
+        "--counts",
+        action="store_true",
+        help="print per-predicate fact counts instead of the stream",
+    )
+    parser.add_argument(
+        "--load",
+        choices=("memory", "sqlite"),
+        help="bulk-load the stream into a backend and report throughput",
+    )
+    args = parser.parse_args(argv)
+
+    if args.load:
+        from repro.storage.memory_backend import MemoryBackend
+        from repro.storage.sqlite_backend import SQLiteBackend
+
+        backend = MemoryBackend() if args.load == "memory" else SQLiteBackend()
+        started = time.perf_counter()
+        total, _dictionary = load_generated(
+            backend, args.scale_factor, args.seed, args.batch_rows
+        )
+        elapsed = time.perf_counter() - started
+        backend.close()
+        print(
+            f"bulk-loaded {total} facts into {args.load} in {elapsed:.2f}s "
+            f"({total / max(elapsed, 1e-9):,.0f} rows/s)"
+        )
+        return 0
+    if args.counts:
+        counts: Dict[str, int] = {}
+        total = 0
+        for fact in stream_facts(args.scale_factor, args.seed):
+            counts[fact[1]] = counts.get(fact[1], 0) + 1
+            total += 1
+        for name in sorted(counts):
+            print(f"{name}\t{counts[name]}")
+        print(f"TOTAL\t{total}")
+        return 0
+    out = sys.stdout
+    for fact in stream_facts(args.scale_factor, args.seed):
+        out.write("\t".join(fact) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

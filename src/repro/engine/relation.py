@@ -9,6 +9,8 @@ one generator frame per row per query.
 
 from __future__ import annotations
 
+from itertools import groupby
+from operator import itemgetter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.errors import UnknownColumnError
@@ -38,19 +40,30 @@ class Index:
         self._positions = tuple(table.columns.index(c) for c in columns)
         self.single = len(self._positions) == 1
         self._buckets: Dict[object, List[Row]] = {}
-        if self.single:
-            position = self._positions[0]
-            buckets = self._buckets
-            for row in table.rows:
-                value = row[position]
-                bucket = buckets.get(value)
-                if bucket is None:
-                    buckets[value] = [row]
-                else:
-                    bucket.append(row)
-        else:
-            for row in table.rows:
-                self._insert(row)
+        rows = table.rows
+        if self._positions == tuple(range(len(table.columns))):
+            # Full-row index (e.g. the (s, o) index on binary role
+            # tables): rows are unique (set semantics), so every bucket
+            # is a singleton keyed by the row itself — one dict-comp.
+            if self.single:
+                self._buckets = {row[0]: [row] for row in rows}
+            else:
+                self._buckets = {row: [row] for row in rows}
+        elif rows:
+            # Group by a stable sort + C-level groupby instead of one
+            # dict probe per row. Stability keeps each bucket in row
+            # insertion order — identical to incremental maintenance.
+            key = itemgetter(*self._positions)
+            try:
+                ordered = sorted(rows, key=key)
+            except TypeError:  # mixed-type column values don't sort
+                for row in rows:
+                    self._insert(row)
+            else:
+                self._buckets = {
+                    value: list(group)
+                    for value, group in groupby(ordered, key=key)
+                }
 
     def _key(self, row: Row) -> object:
         if self.single:
@@ -159,6 +172,45 @@ class Table:
         if self._batch_cache:
             self._batch_cache.clear()
         return len(doomed)
+
+    def bulk_append(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Append rows **without** dedup or index maintenance.
+
+        The bulk-load fast path: rows land on the raw list and nothing
+        else is touched. The table is not query-consistent (duplicates
+        possible, indexes stale) until :meth:`bulk_finish` runs — only
+        :meth:`~repro.storage.base.BulkLoader` sessions, which hold the
+        backend exclusively, may use it.
+        """
+        append = self.rows.append
+        width = len(self.columns)
+        for row in rows:
+            if type(row) is not tuple:
+                row = tuple(row)
+            if len(row) != width:
+                raise ValueError(
+                    f"row arity {len(row)} does not match table "
+                    f"{self.name!r} ({width} columns)"
+                )
+            append(row)
+
+    def bulk_finish(self) -> int:
+        """Restore set semantics and indexes after :meth:`bulk_append`.
+
+        One dedup pass (``dict.fromkeys`` keeps first-seen order, the
+        same order incremental inserts would have produced), one row-set
+        rebuild, and one rebuild per existing index — instead of
+        per-row work on every append. Returns the final row count.
+        """
+        deduped = dict.fromkeys(self.rows)
+        if len(deduped) != len(self.rows):
+            self.rows = list(deduped)
+        self._row_set = set(deduped)
+        for columns in list(self.indexes):
+            self.indexes[columns] = Index(self, columns)
+        if self._batch_cache:
+            self._batch_cache.clear()
+        return len(self.rows)
 
     def column_batches(self, batch_size: int) -> List[Batch]:
         """The table's rows as columnar batches (cached until a write).

@@ -15,8 +15,50 @@ from typing import List, Optional, Tuple
 from repro.engine.database import DB2_STATEMENT_LIMIT, MiniRDBMS
 from repro.engine.operators import CostParameters, DEFAULT_COSTS
 from repro.obs.metrics import get_registry
-from repro.storage.base import Backend, Row
+from repro.storage.base import Backend, BulkLoader, Row
 from repro.storage.layouts import LayoutData
+
+
+class _MemoryBulkLoader(BulkLoader):
+    """Deferred-index bulk loader for :class:`MemoryBackend`.
+
+    Appends go straight onto the engine tables' raw row lists
+    (:meth:`repro.engine.relation.Table.bulk_append` — no dedup, no
+    index maintenance); :meth:`finish` dedups each table once, builds
+    the declared indexes over the final rows, and runs one ``analyze``.
+    The backend lock is held for the whole session, so no query can
+    observe the half-built state.
+    """
+
+    def __init__(self, backend: "MemoryBackend") -> None:
+        super().__init__(backend)
+        self._db = backend.db
+        backend._lock.acquire()
+
+    def create_table(self, name, columns, indexes=(), shard_key=None) -> None:
+        """Declare (and create empty) one table of the new dataset."""
+        super().create_table(name, columns, indexes, shard_key)
+        self._db.create_table(name, columns)
+
+    def _append(self, table: str, rows: List[Row]) -> None:
+        self._db.catalog.table(table).bulk_append(rows)
+
+    def _finish(self) -> None:
+        try:
+            for spec in self._specs.values():
+                self._db.catalog.table(spec.name).bulk_finish()
+                for index_columns in spec.indexes:
+                    self._db.create_index(spec.name, index_columns)
+            self._db.analyze()
+        finally:
+            self._backend._lock.release()
+
+    def _abort(self) -> None:
+        try:
+            for spec in self._specs.values():
+                self._db.catalog.drop_table(spec.name)
+        finally:
+            self._backend._lock.release()
 
 
 class MemoryBackend(Backend):
@@ -54,6 +96,10 @@ class MemoryBackend(Backend):
                 for index_columns in spec.indexes:
                     self.db.create_index(spec.name, index_columns)
             self.db.analyze()
+
+    def bulk_load(self) -> BulkLoader:
+        """A deferred-index bulk-ingest session on the engine."""
+        return _MemoryBulkLoader(self)
 
     def insert_rows(self, table: str, rows: List[Row]) -> None:
         """Insert encoded rows (set semantics) and fold the delta into

@@ -59,7 +59,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.faults import FaultRuntime, TransientWorkerFault, WorkerFaultConfig
 from repro.obs.metrics import get_registry, reset_registry
 from repro.obs.trace import Tracer
-from repro.storage.base import Backend, Row
+from repro.storage.base import Backend, BulkLoader, Row
 from repro.storage.layouts import LayoutData
 from repro.storage.shm_exchange import (
     pack_columns,
@@ -284,6 +284,7 @@ def _worker_main(
     reset_registry()
     min_cells = shm_min_cells()
     faults = FaultRuntime(fault_config) if fault_config is not None else None
+    bulk = None  # the open worker-side bulk-load session, if any
     while True:
         try:
             cmd, payload = conn.recv()
@@ -323,6 +324,33 @@ def _worker_main(
                 conn.send(("ok", backend.delete_rows(payload[0], payload[1])))
             elif cmd == "apply":
                 backend.apply_changes(payload[0], payload[1])
+                conn.send(("ok", None))
+            elif cmd == "bulk_begin":
+                if bulk is not None:
+                    raise RuntimeError("bulk load already in progress")
+                bulk = backend.bulk_load()
+                conn.send(("ok", None))
+            elif cmd == "bulk_table":
+                if bulk is None:
+                    raise RuntimeError("no bulk load in progress")
+                name, columns, indexes, shard_key = payload
+                bulk.create_table(name, columns, indexes, shard_key)
+                conn.send(("ok", None))
+            elif cmd == "bulk_append":
+                if bulk is None:
+                    raise RuntimeError("no bulk load in progress")
+                # The coordinator-side session already tuple-normalized
+                # and validated the batch; go straight to the hook.
+                bulk._append(payload[0], payload[1])
+                conn.send(("ok", None))
+            elif cmd == "bulk_end":
+                if bulk is None:
+                    raise RuntimeError("no bulk load in progress")
+                session, bulk = bulk, None
+                if payload:
+                    session.finish()
+                else:
+                    session.abort()
                 conn.send(("ok", None))
             elif cmd == "stats":
                 conn.send(
@@ -381,6 +409,43 @@ class WorkerExecution:
     rows: int = 0
     #: ``"inline"`` (pipe pickle) or ``"shm"`` (columnar segment).
     transport: str = "inline"
+
+
+class _WorkerBulkLoader(BulkLoader):
+    """Bulk-load session proxied into a worker process.
+
+    Each operation is one RPC (``bulk_begin`` / ``bulk_table`` /
+    ``bulk_append`` / ``bulk_end``); the deferred index and statistics
+    work happens inside the worker, in its own hosted loader. Appends
+    stream batch-by-batch, so the coordinator never holds the shard's
+    full partition.
+    """
+
+    def __init__(self, worker: "ProcessShardWorker") -> None:
+        super().__init__(worker)
+        worker._call("bulk_begin")
+
+    def create_table(self, name, columns, indexes=(), shard_key=None) -> None:
+        """Declare one table inside the worker's session."""
+        super().create_table(name, columns, indexes, shard_key)
+        self._backend._call(
+            "bulk_table",
+            (name, tuple(columns), tuple(tuple(ix) for ix in indexes), shard_key),
+        )
+
+    def _append(self, table: str, rows: List[Row]) -> None:
+        self._backend._call("bulk_append", (table, rows))
+
+    def _finish(self) -> None:
+        self._backend._call("bulk_end", True)
+
+    def _abort(self) -> None:
+        try:
+            self._backend._call("bulk_end", False)
+        except (WorkerError, RuntimeError):
+            # A dead/closed worker has nothing left to abort; the
+            # supervision layer recycles it.
+            pass
 
 
 def process_workers_supported() -> bool:
@@ -640,6 +705,10 @@ class ProcessShardWorker(Backend):
     def explain_text(self, sql: str, analyze: bool = False) -> str:
         """The hosted backend's EXPLAIN (or EXPLAIN ANALYZE) rendering."""
         return self._call("explain", (sql, analyze))
+
+    def bulk_load(self) -> BulkLoader:
+        """A bulk-ingest session hosted inside the worker process."""
+        return _WorkerBulkLoader(self)
 
     def insert_rows(self, table: str, rows: List[Row]) -> None:
         """Replicate an insert into the worker (set semantics)."""

@@ -23,8 +23,91 @@ from typing import List, Optional, Tuple
 from repro.engine.catalog import ColumnStats, TableStats
 from repro.engine.database import MiniRDBMS
 from repro.engine.operators import CostParameters
-from repro.storage.base import Backend, Row
+from repro.storage.base import Backend, BulkLoader, Row
 from repro.storage.layouts import LayoutData
+
+
+class _SQLiteBulkLoader(BulkLoader):
+    """Deferred-index bulk loader for :class:`SQLiteBackend`.
+
+    Appends run plain ``INSERT`` into index-less tables (no per-row
+    B-tree maintenance, no OR IGNORE uniqueness probe); :meth:`finish`
+    dedups each table with one ``GROUP BY`` pass, then builds the
+    ``ux_`` unique index, the declared secondaries, shadow-catalog
+    schema, exact statistics (one ``COUNT``/``COUNT(DISTINCT)`` scan),
+    and a single ``ANALYZE`` + commit. The connection lock is held for
+    the whole session.
+    """
+
+    def __init__(self, backend: "SQLiteBackend") -> None:
+        super().__init__(backend)
+        backend._connection_lock.acquire()
+        self._cursor = backend._cursor()
+
+    def create_table(self, name, columns, indexes=(), shard_key=None) -> None:
+        """Declare (and create empty, index-less) one table."""
+        super().create_table(name, columns, indexes, shard_key)
+        columns_ddl = ", ".join(f"{c} INTEGER" for c in columns)
+        self._cursor.execute(f"DROP TABLE IF EXISTS {name}")
+        self._cursor.execute(f"CREATE TABLE {name} ({columns_ddl})")
+
+    def _append(self, table: str, rows: List[Row]) -> None:
+        placeholders = ", ".join("?" for _ in self._specs[table].columns)
+        self._cursor.executemany(
+            f"INSERT INTO {table} VALUES ({placeholders})", rows
+        )
+
+    def _finish(self) -> None:
+        backend: "SQLiteBackend" = self._backend
+        try:
+            cursor = self._cursor
+            for spec in self._specs.values():
+                columns = ", ".join(spec.columns)
+                # Set semantics: drop duplicate rows (keep the earliest)
+                # before the unique index can be built over the table.
+                cursor.execute(
+                    f"DELETE FROM {spec.name} WHERE rowid NOT IN "
+                    f"(SELECT MIN(rowid) FROM {spec.name} GROUP BY {columns})"
+                )
+                cursor.execute(
+                    f"CREATE UNIQUE INDEX IF NOT EXISTS ux_{spec.name} "
+                    f"ON {spec.name} ({columns})"
+                )
+                for index_columns in spec.indexes:
+                    index_name = f"ix_{spec.name}_{'_'.join(index_columns)}"
+                    cursor.execute(
+                        f"CREATE INDEX IF NOT EXISTS {index_name} "
+                        f"ON {spec.name} ({', '.join(index_columns)})"
+                    )
+                backend._shadow.create_table(spec.name, spec.columns)
+                for index_columns in spec.indexes:
+                    backend._shadow.create_index(spec.name, index_columns)
+                distincts = ", ".join(
+                    f"COUNT(DISTINCT {c})" for c in spec.columns
+                )
+                measured = cursor.execute(
+                    f"SELECT COUNT(*), {distincts} FROM {spec.name}"
+                ).fetchone()
+                stats = TableStats(cardinality=measured[0])
+                for position, column in enumerate(spec.columns):
+                    stats.columns[column] = ColumnStats(
+                        distinct_values=measured[position + 1]
+                    )
+                backend._shadow.catalog.set_statistics(spec.name, stats)
+            cursor.execute("ANALYZE")
+            backend._connection.commit()
+        finally:
+            backend._connection_lock.release()
+
+    def _abort(self) -> None:
+        backend: "SQLiteBackend" = self._backend
+        try:
+            backend._connection.rollback()
+            for spec in self._specs.values():
+                self._cursor.execute(f"DROP TABLE IF EXISTS {spec.name}")
+            backend._connection.commit()
+        finally:
+            backend._connection_lock.release()
 
 #: Cost constants calibrated for the SQLite backend (B-tree storage makes
 #: index probes comparatively cheaper and materialization pricier than in
@@ -111,6 +194,10 @@ class SQLiteBackend(Backend):
             self._shadow.catalog.set_statistics(spec.name, stats)
         cursor.execute("ANALYZE")
         self._connection.commit()
+
+    def bulk_load(self) -> BulkLoader:
+        """A deferred-index bulk-ingest session on the connection."""
+        return _SQLiteBulkLoader(self)
 
     # ------------------------------------------------------------------
     def insert_rows(self, table: str, rows: List[Row]) -> None:

@@ -65,7 +65,7 @@ from repro.faults import FaultInjector, TransientWorkerFault
 from repro.obs.metrics import get_registry
 from repro.obs.trace import current_span
 from repro.serving.concurrency import QueryTimeoutError
-from repro.storage.base import Backend, Row
+from repro.storage.base import Backend, BulkLoader, Row
 from repro.storage.layouts import LayoutData, TableSpec
 from repro.storage.process_workers import (
     ProcessShardWorker,
@@ -278,6 +278,145 @@ class ShardState:
             state.name: len(state.rows)
             for state in self.folded_tables().values()
         }
+
+
+class _SupervisedBulkLoader(BulkLoader):
+    """Bulk load through a supervised worker, folded into the **base
+    snapshot** — never the bounded write log.
+
+    A bulk load is millions of rows; recording it as a log entry would
+    make every post-load crash replay the whole dataset through write
+    RPCs (and the log bound would fold it anyway, entry by entry). So
+    the loader streams into the target's own bulk session while
+    mirroring the declared tables coordinator-side, and on finish:
+    drains any older log entries into the base (preserving write
+    order), installs the mirrored tables as base state, and advances
+    ``base_epoch`` by one — the bulk load is a single write, and a
+    rebuilt worker reloads it as one snapshot with an **empty** log.
+
+    The session is **replay-safe**: shard state mutates only in
+    ``finish``, after the target acknowledged the whole load, so a
+    worker death mid-bulk fails the session and the next operation
+    rebuilds the worker at the untouched pre-bulk epoch. Locking is
+    per-operation (not per-session) so the sharded backend may drive
+    sibling shards' sessions from pool threads; a worker recycled
+    between operations (monitor heal) surfaces as a failed session,
+    never as a half-applied load.
+    """
+
+    def __init__(self, supervised: "SupervisedShardWorker") -> None:
+        super().__init__(supervised)
+        self._pending: Dict[str, _TableState] = {}
+        with supervised._lock:
+            if supervised._closed:
+                raise RuntimeError("SupervisedShardWorker is closed")
+            target = supervised._target_locked()
+            self._via_worker = target is supervised._worker
+            self._generation = supervised._generation
+            self._inner = target.bulk_load()
+
+    def _guarded(self, op: Callable[[], object]):
+        """Run one inner-session operation under the supervised lock;
+        any worker failure (or a recycle since the session opened)
+        discards the worker and fails the bulk — state untouched."""
+        supervised: "SupervisedShardWorker" = self._backend
+        with supervised._lock:
+            if supervised._closed:
+                raise RuntimeError("SupervisedShardWorker is closed")
+            if self._via_worker and (
+                supervised._generation != self._generation
+                or supervised._worker is None
+            ):
+                raise WorkerCrashedError(
+                    f"shard {supervised.shard} worker was recycled during "
+                    "a bulk load; the session cannot continue"
+                )
+            try:
+                return op()
+            except (WorkerError, TransientWorkerFault):
+                if self._via_worker:
+                    supervised._discard_worker_locked()
+                raise
+
+    def create_table(self, name, columns, indexes=(), shard_key=None) -> None:
+        """Declare one table (mirrored coordinator-side for rebuilds)."""
+        super().create_table(name, columns, indexes, shard_key)
+        self._pending[name.lower()] = _TableState(
+            TableSpec(
+                name=name,
+                columns=tuple(columns),
+                rows=[],
+                indexes=tuple(tuple(ix) for ix in indexes),
+                shard_key=shard_key,
+            )
+        )
+        self._guarded(
+            lambda: self._inner.create_table(name, columns, indexes, shard_key)
+        )
+
+    def _append(self, table: str, rows: List[Row]) -> None:
+        mirror = self._pending[table.lower()].rows
+        for row in rows:
+            mirror.setdefault(row, None)
+        self._guarded(lambda: self._inner.append(table, rows))
+
+    def _finish(self) -> None:
+        supervised: "SupervisedShardWorker" = self._backend
+
+        def commit():
+            self._inner.finish()
+            if self._via_worker:
+                # The load's one statistics build doubles as the
+                # rebuild-style verification: the worker's cardinality
+                # per table must match the coordinator mirror.
+                expected = {
+                    state.name: len(state.rows)
+                    for state in self._pending.values()
+                }
+                stats = supervised._worker.statistics_many(list(expected))
+                for name, count in expected.items():
+                    cardinality = getattr(
+                        stats.get(name), "cardinality", None
+                    )
+                    if cardinality is not None and cardinality != count:
+                        supervised._discard_worker_locked()
+                        raise WorkerRespawnError(
+                            f"bulk load verification failed (shard "
+                            f"{supervised.shard}): table {name!r} holds "
+                            f"{cardinality} rows, expected {count}"
+                        )
+            # Fold: drain older writes into the base in order, then
+            # install the bulk tables; the whole load is one epoch step.
+            state = supervised._state
+            while state.log:
+                _apply_entry(state.tables, state.log.popleft())
+                state.base_epoch += 1
+            for name, table_state in self._pending.items():
+                state.tables[name] = table_state
+            state.base_epoch += 1
+
+        self._guarded(commit)
+
+    def _abort(self) -> None:
+        supervised: "SupervisedShardWorker" = self._backend
+        with supervised._lock:
+            if self._via_worker:
+                # The worker's tables are in an undefined mid-load
+                # state; discard it and let the normal respawn path
+                # rebuild the untouched pre-bulk state on demand.
+                if (
+                    supervised._generation == self._generation
+                    and supervised._worker is not None
+                ):
+                    supervised._discard_worker_locked()
+            else:
+                try:
+                    self._inner.abort()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+                if supervised._fallback is not None:
+                    supervised._fallback.close()
+                    supervised._fallback = None
 
 
 class SupervisedShardWorker(Backend):
@@ -694,6 +833,12 @@ class SupervisedShardWorker(Backend):
             lambda worker: worker.load(data),
             lambda backend: backend.load(data),
         )
+
+    def bulk_load(self) -> BulkLoader:
+        """A bulk-ingest session that folds into the base snapshot (not
+        the write log), so a post-load crash rebuilds from one snapshot
+        instead of replaying millions of rows."""
+        return _SupervisedBulkLoader(self)
 
     def insert_rows(self, table: str, rows: List[Row]) -> None:
         """Insert rows (set semantics), replay-safe on worker death."""

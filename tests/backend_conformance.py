@@ -18,6 +18,13 @@ count, runs through one shared contract:
 * :func:`check_delete_count_semantics` — the pinned ``delete_rows``
   contract: duplicate input rows count **once**, absent rows count
   zero, a repeated delete returns zero;
+* :func:`check_bulk_load_equivalence` — the same dataset ingested via
+  a streaming :meth:`~repro.storage.base.Backend.bulk_load` session,
+  via plain ``load`` and via incremental ``insert_rows`` must be
+  indistinguishable: same answers, same statistics cardinalities, and
+  the bulk-loaded instance keeps taking ordinary writes afterwards;
+* :func:`check_bulk_load_abort` — an aborted bulk session leaves a
+  backend that can still be loaded and queried;
 * :func:`check_dialect_translations` — translated CQ / UCQ / JUCQ /
   USCQ / JUSCQ reformulations against the trusted naive evaluator, per
   layout.
@@ -225,6 +232,134 @@ def check_random_write_churn(
                 assert sorted(backend.execute(sql)) == sorted(
                     oracle.execute(sql)
                 ), f"divergence after churn on: {sql}"
+    finally:
+        backend.close()
+        oracle.close()
+
+
+def check_bulk_load_equivalence(
+    make_backend: Callable,
+    make_oracle: Callable,
+    seed: int,
+    batch_rows: int = 7,
+    statements: int = 15,
+) -> None:
+    """``bulk_load`` ≡ ``load`` ≡ incremental ``insert_rows``.
+
+    The same random dataset is ingested three ways into the backend
+    under test — one streaming bulk session (batched, shuffled, with
+    duplicate rows mixed in to exercise the deferred dedup pass), one
+    plain ``load``, and one empty ``load`` followed by batched
+    ``insert_rows`` — plus once into the independent oracle. All four
+    must agree on every random statement (as sorted multisets), the
+    three backend instances must report the same exact statistics
+    cardinality per table, and the bulk-loaded instance must keep
+    taking ordinary writes afterwards, still tracking the oracle.
+    """
+    rng = random.Random(seed)
+    data = random_layout_data(rng)
+    schema_only = LayoutData(
+        tables=[
+            TableSpec(
+                name=spec.name,
+                columns=spec.columns,
+                rows=[],
+                indexes=spec.indexes,
+            )
+            for spec in data.tables
+        ]
+    )
+    bulk = make_backend()
+    loaded = make_backend()
+    incremental = make_backend()
+    oracle = make_oracle()
+    try:
+        loaded.load(data)
+        oracle.load(data)
+        incremental.load(schema_only)
+        for spec in data.tables:
+            for start in range(0, len(spec.rows), batch_rows):
+                incremental.insert_rows(
+                    spec.name, spec.rows[start : start + batch_rows]
+                )
+        with bulk.bulk_load() as loader:
+            for spec in data.tables:
+                loader.create_table(
+                    spec.name, spec.columns, indexes=spec.indexes
+                )
+            for spec in data.tables:
+                rows = list(spec.rows)
+                rows.extend(
+                    rng.choice(rows) for _ in range(rng.randrange(0, 4))
+                )
+                rng.shuffle(rows)
+                for start in range(0, len(rows), batch_rows):
+                    loader.append(spec.name, rows[start : start + batch_rows])
+        for spec in data.tables:
+            expected = len(spec.rows)
+            for system in (bulk, loaded, incremental):
+                stats = system.table_statistics(spec.name)
+                if stats is not None:
+                    assert stats.cardinality == expected, spec.name
+        for _ in range(statements):
+            sql = random_statement(rng)
+            answer = sorted(oracle.execute(sql))
+            assert sorted(bulk.execute(sql)) == answer, f"bulk: {sql}"
+            assert sorted(loaded.execute(sql)) == answer, f"load: {sql}"
+            assert (
+                sorted(incremental.execute(sql)) == answer
+            ), f"incremental: {sql}"
+        for _ in range(4):
+            table = rng.choice(CONCEPTS + ROLES)
+            arity = 1 if table.startswith("c_") else 2
+            inserts = [
+                tuple(rng.randrange(8) for _ in range(arity))
+                for _ in range(rng.randrange(1, 4))
+            ]
+            deletes = [
+                tuple(rng.randrange(8) for _ in range(arity))
+                for _ in range(rng.randrange(1, 4))
+            ]
+            bulk.insert_rows(table, inserts)
+            oracle.insert_rows(table, inserts)
+            assert bulk.delete_rows(table, deletes) == oracle.delete_rows(
+                table, deletes
+            )
+            sql = random_statement(rng)
+            assert sorted(bulk.execute(sql)) == sorted(
+                oracle.execute(sql)
+            ), f"post-bulk churn: {sql}"
+    finally:
+        bulk.close()
+        loaded.close()
+        incremental.close()
+        oracle.close()
+
+
+def check_bulk_load_abort(
+    make_backend: Callable, make_oracle: Callable, seed: int
+) -> None:
+    """An aborted bulk session leaves a backend that still loads and
+    answers correctly (no half-published tables poisoning later use)."""
+    rng = random.Random(seed)
+    data = random_layout_data(rng)
+    backend, oracle = make_backend(), make_oracle()
+    boom = RuntimeError("simulated mid-load failure")
+    try:
+        oracle.load(data)
+        try:
+            with backend.bulk_load() as loader:
+                loader.create_table("c_a", ("s",), indexes=(("s",),))
+                loader.append("c_a", [(1,), (2,), (3,)])
+                raise boom
+        except RuntimeError as err:
+            assert err is boom
+        backend.load(data)
+        for _ in range(8):
+            sql = random_statement(rng)
+            assert sorted(backend.execute(sql)) == sorted(
+                oracle.execute(sql)
+            ), f"post-abort divergence on: {sql}"
     finally:
         backend.close()
         oracle.close()

@@ -1,6 +1,16 @@
-"""Shared fixtures: the paper's running-example knowledge bases."""
+"""Shared fixtures: the paper's running-example knowledge bases, plus
+the ``REPRO_SCALE`` tier knob for scale-gated tests.
+
+``REPRO_SCALE`` selects how much generated data scale-aware tests use:
+``tiny`` (the tier-1 default, ~1k facts), ``medium`` (~100k, the CI
+smoke tier) or ``large`` (~1M, the acceptance tier). Tests marked
+``@pytest.mark.scale("medium")`` / ``("large")`` are skipped below
+their tier, so the default suite stays fast.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -9,6 +19,51 @@ from repro.dllite.axioms import ConceptInclusion, RoleInclusion
 from repro.dllite.tbox import TBox
 from repro.dllite.vocabulary import AtomicConcept as C
 from repro.dllite.vocabulary import Exists, Role
+
+#: Fact budget per scale tier (generator scale factors).
+SCALE_FACTS = {"tiny": 1_000, "medium": 100_000, "large": 1_000_000}
+_TIER_ORDER = ("tiny", "medium", "large")
+
+
+def active_scale() -> str:
+    """The tier selected by ``REPRO_SCALE`` (default ``tiny``)."""
+    tier = os.environ.get("REPRO_SCALE", "tiny").strip().lower()
+    if tier not in SCALE_FACTS:
+        raise ValueError(
+            f"REPRO_SCALE={tier!r} is not one of {sorted(SCALE_FACTS)}"
+        )
+    return tier
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "scale(tier): run only when REPRO_SCALE is at or above *tier*",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    active = _TIER_ORDER.index(active_scale())
+    for item in items:
+        marker = item.get_closest_marker("scale")
+        if marker is None:
+            continue
+        tier = marker.args[0]
+        if _TIER_ORDER.index(tier) > active:
+            item.add_marker(
+                pytest.mark.skip(
+                    reason=(
+                        f"needs REPRO_SCALE={tier} "
+                        f"(active tier: {_TIER_ORDER[active]})"
+                    )
+                )
+            )
+
+
+@pytest.fixture(scope="session")
+def scale_facts() -> int:
+    """The fact budget of the active ``REPRO_SCALE`` tier."""
+    return SCALE_FACTS[active_scale()]
 
 
 @pytest.fixture

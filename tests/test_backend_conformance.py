@@ -12,6 +12,8 @@ system's answers.
 import pytest
 
 from backend_conformance import (
+    check_bulk_load_abort,
+    check_bulk_load_equivalence,
     check_delete_count_semantics,
     check_dialect_translations,
     check_random_workloads,
@@ -98,6 +100,19 @@ def test_sharded_small_batches(shards, batch_size):
 def test_random_write_churn(backend_name, seed):
     factory, oracle = BACKENDS[backend_name]
     check_random_write_churn(factory, oracle, 2000 + seed)
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+@pytest.mark.parametrize("seed", range(2))
+def test_bulk_load_equivalence(backend_name, seed):
+    factory, oracle = BACKENDS[backend_name]
+    check_bulk_load_equivalence(factory, oracle, 3000 + seed)
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+def test_bulk_load_abort_recovery(backend_name):
+    factory, oracle = BACKENDS[backend_name]
+    check_bulk_load_abort(factory, oracle, 4000)
 
 
 @pytest.mark.parametrize("backend_name", sorted(BACKENDS))

@@ -1,0 +1,194 @@
+"""The streaming generator's contract: deterministic, seeded, bounded.
+
+The scale story (ISSUE: three orders of magnitude) only works if the
+generator is (a) byte-identical for a given ``(scale_factor, seed)``
+across runs *and* batch sizes — so benchmarks at different chunkings
+measure the same dataset — (b) genuinely different across seeds, and
+(c) streaming: a 10^9-scale stream must start yielding instantly and
+never hold more than one batch of rows resident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import islice
+
+import pytest
+
+from repro.bench.datagen import (
+    CONCEPTS,
+    DEPARTMENTS_PER_UNIVERSITY,
+    FACTS_PER_DEPARTMENT,
+    ROLES,
+    departments_for,
+    encode_batch,
+    exact_fact_count,
+    generated_schema,
+    load_generated,
+    stream_batches,
+    stream_facts,
+)
+from repro.bench.lubm import lubm_exists_tbox
+from repro.storage.dictionary import Dictionary
+from repro.storage.layouts import SimpleLayout
+from repro.storage.memory_backend import MemoryBackend
+
+
+def stream_digest(scale: int, seed: int, batch_rows: int = None) -> str:
+    """A SHA-256 over the serialized fact stream (order-sensitive)."""
+    digest = hashlib.sha256()
+    if batch_rows is None:
+        facts = stream_facts(scale, seed)
+    else:
+        facts = (
+            fact
+            for batch in stream_batches(scale, seed, batch_rows)
+            for fact in batch
+        )
+    for fact in facts:
+        digest.update("\t".join(fact).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def test_same_seed_is_byte_identical_across_runs():
+    assert stream_digest(5000, seed=7) == stream_digest(5000, seed=7)
+
+
+@pytest.mark.parametrize("batch_rows", (1, 13, 223, 100_000))
+def test_batch_size_never_changes_the_stream(batch_rows):
+    """Chunking moves only the cut points, never the facts."""
+    assert stream_digest(3000, seed=7, batch_rows=batch_rows) == stream_digest(
+        3000, seed=7
+    )
+
+
+def test_distinct_seeds_differ():
+    assert stream_digest(2000, seed=1) != stream_digest(2000, seed=2)
+
+
+def test_exact_fact_count_matches_the_stream():
+    for scale in (1, 223, 1000, 4460, 12_345):
+        facts = list(stream_facts(scale, seed=3))
+        assert len(facts) == exact_fact_count(scale), scale
+        departments = departments_for(scale)
+        universities = -(-departments // DEPARTMENTS_PER_UNIVERSITY)
+        assert len(facts) == (
+            departments * FACTS_PER_DEPARTMENT + universities
+        )
+
+
+def test_stream_is_lazy_at_absurd_scale():
+    """The head of a 10^9-fact stream arrives without generating it."""
+    head = list(islice(stream_facts(1_000_000_000, seed=5), 10))
+    assert len(head) == 10
+    assert head[0] == ("c", "University", "Univ0")
+
+
+def test_vocabulary_is_closed():
+    """Every streamed predicate belongs to the declared signature."""
+    for fact in stream_facts(2000, seed=11):
+        if fact[0] == "c":
+            assert len(fact) == 3 and fact[1] in CONCEPTS, fact
+        else:
+            assert fact[0] == "r"
+            assert len(fact) == 4 and fact[1] in ROLES, fact
+
+
+def test_bounded_residency_via_batch_sink():
+    """``load_generated`` never holds more than one batch of facts: the
+    counting sink sees every batch, each within the requested width."""
+    seen = []
+    backend = MemoryBackend()
+    try:
+        total, dictionary = load_generated(
+            backend, 4000, seed=9, batch_rows=500, batch_sink=seen.append
+        )
+    finally:
+        backend.close()
+    assert total == exact_fact_count(4000)
+    assert sum(seen) == total
+    assert max(seen) <= 500
+    assert len(seen) == -(-total // 500)
+    # Dictionary codes are dense first-seen ints.
+    assert len(dictionary) > 0
+
+
+def test_encode_batch_routes_to_simple_layout_tables():
+    dictionary = Dictionary()
+    tables = encode_batch(
+        [
+            ("c", "University", "Univ0"),
+            ("r", "worksFor", "P0", "Dept0_0"),
+            ("r", "worksFor", "P1", "Dept0_0"),
+        ],
+        dictionary,
+    )
+    assert set(tables) == {
+        SimpleLayout.concept_table("University"),
+        SimpleLayout.role_table("worksFor"),
+    }
+    assert tables[SimpleLayout.role_table("worksFor")] == [
+        (dictionary.encode("P0"), dictionary.encode("Dept0_0")),
+        (dictionary.encode("P1"), dictionary.encode("Dept0_0")),
+    ]
+
+
+def test_generated_schema_covers_tbox_signature():
+    """With a TBox, reformulation-only predicates get empty tables too."""
+    tbox = lubm_exists_tbox()
+    names = {spec.name for spec in generated_schema(tbox)}
+    for concept in tbox.concept_names():
+        assert SimpleLayout.concept_table(concept) in names
+    for role in tbox.role_names():
+        assert SimpleLayout.role_table(role) in names
+    for concept in CONCEPTS:
+        assert SimpleLayout.concept_table(concept) in names
+
+
+def test_cli_counts_and_stream(capsys):
+    from repro.bench.datagen import main
+
+    assert main(["--scale-factor", "223", "--seed", "4", "--counts"]) == 0
+    out = capsys.readouterr().out
+    assert f"TOTAL\t{exact_fact_count(223)}" in out
+    assert main(["--scale-factor", "223", "--seed", "4"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == exact_fact_count(223)
+    assert lines[0] == "c\tUniversity\tUniv0"
+
+
+def test_cli_load_smoke(capsys):
+    from repro.bench.datagen import main
+
+    assert main(["--scale-factor", "446", "--load", "memory"]) == 0
+    assert "bulk-loaded" in capsys.readouterr().out
+
+
+def test_calibration_over_generated_tables():
+    """`calibrate_cost_parameters` derives sane constants from a loaded
+    backend: the numeraire stays 1.0, every measured constant respects
+    the noise floor, and an empty table is a loud error."""
+    from repro.bench.calibrate import MIN_UNITS, calibrate_cost_parameters
+    from repro.storage.memory_backend import MemoryBackend
+
+    backend = MemoryBackend()
+    try:
+        from repro.bench.lubm import lubm_exists_tbox
+
+        load_generated(backend, 2000, seed=5, tbox=lubm_exists_tbox())
+        parameters, measurements = calibrate_cost_parameters(backend)
+        assert parameters.seq_scan_per_row == 1.0
+        for name in (
+            "dedup_per_row",
+            "hash_build_per_row",
+            "hash_probe_per_row",
+            "index_probe_per_row",
+        ):
+            assert getattr(parameters, name) >= MIN_UNITS, name
+        assert measurements["rows_scanned"] > 0
+        assert measurements["unit_s"] > 0
+        with pytest.raises(ValueError):
+            calibrate_cost_parameters(backend, scan_table="r_degreeFrom")
+    finally:
+        backend.close()

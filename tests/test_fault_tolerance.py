@@ -299,6 +299,48 @@ class TestSupervisedWorker:
         finally:
             worker.close()
 
+    def test_sigkill_after_bulk_load_rebuilds_from_snapshot(self):
+        """A bulk load folds into the coordinator's snapshot as ONE
+        epoch step — the bounded write log stays empty. A SIGKILL right
+        after the load therefore rebuilds the worker from a single
+        snapshot install (no per-write replay), byte-identically."""
+        data = _layout(rows=900)
+        oracle = _oracle(data)
+        worker = SupervisedShardWorker(MemoryBackend, 0, _config())
+        try:
+            with worker.bulk_load() as loader:
+                for spec in data.tables:
+                    loader.create_table(
+                        spec.name, spec.columns, indexes=spec.indexes
+                    )
+                for spec in data.tables:
+                    for start in range(0, len(spec.rows), 128):
+                        loader.append(
+                            spec.name, spec.rows[start : start + 128]
+                        )
+            # Snapshot, not log: the whole load is one base-epoch step.
+            assert len(worker._state.log) == 0
+            assert worker._state.base_epoch == 1
+            assert worker.epoch == 1
+            baseline = {sql: sorted(worker.execute(sql)) for sql in QUERIES}
+            os.kill(worker.worker.pid, signal.SIGKILL)
+            time.sleep(0.05)
+            for sql in QUERIES:
+                assert sorted(worker.execute(sql)) == baseline[sql]
+                assert baseline[sql] == sorted(oracle.execute(sql))
+            assert worker.restarts == 1
+            assert worker.epoch == 1
+            # The rebuilt worker takes ordinary logged writes as usual.
+            worker.insert_rows("c_a", [(100001,)])
+            assert worker.epoch == 2
+            assert len(worker._state.log) == 1
+            assert worker.execute("SELECT s FROM c_a WHERE s = 100001") == [
+                (100001,)
+            ]
+        finally:
+            worker.close()
+            oracle.close()
+
     def test_kill_on_nth_rpc_is_transparent(self):
         plan = FaultPlan.parse("seed=11,kill_at=4")
         worker = SupervisedShardWorker(
@@ -797,6 +839,39 @@ class TestShardedSupervision:
                         oracle.execute(sql)
                     )
             thread.join()
+            assert victim.restarts == 1
+            assert victim.epoch == 1
+        finally:
+            backend.close()
+            oracle.close()
+
+    def test_sigkill_after_sharded_bulk_load(self):
+        """Backend-level kill-after-bulk: every supervised shard folded
+        the bulk load into its snapshot (empty logs), so the killed
+        worker rebuilds to the same epoch and answers stay correct."""
+        data = _layout(rows=600)
+        oracle = _oracle(data)
+        backend = ShardedBackend(
+            shards=2, substrate="process", supervision=_config()
+        )
+        try:
+            with backend.bulk_load() as loader:
+                for spec in data.tables:
+                    loader.create_table(
+                        spec.name, spec.columns, indexes=spec.indexes
+                    )
+                for spec in data.tables:
+                    loader.append(spec.name, spec.rows)
+            for child in backend.children:
+                assert child.epoch == 1
+                assert len(child._state.log) == 0
+            victim = backend.children[0]
+            os.kill(victim.worker.pid, signal.SIGKILL)
+            time.sleep(0.05)
+            for sql in QUERIES:
+                assert sorted(backend.execute(sql)) == sorted(
+                    oracle.execute(sql)
+                )
             assert victim.restarts == 1
             assert victim.epoch == 1
         finally:
