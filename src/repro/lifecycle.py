@@ -1,0 +1,47 @@
+"""Interpreter-shutdown detection for fork-happy subsystems.
+
+The process substrate forks shard workers and the replica healer
+rebuilds whole backends from daemon threads. Both are safe while the
+program runs, but lethal during interpreter exit: a worker forked from
+a daemon thread while atexit callbacks drain inherits a dying runtime
+and exits immediately, its supervisor respawns it, and
+``multiprocessing.util._exit_function`` — which joins live children
+with **no timeout** — never sees the process table drain. The result is
+an interpreter that prints its final line and then hangs forever in
+``waitpid`` while daemon threads churn fresh processes underneath it.
+
+The cure is a single process-wide latch. The atexit backstops that
+close leaked workers and replica sets (registered lazily at first use,
+so LIFO ordering runs them *before* ``multiprocessing``'s own exit
+hook) flip it as their first action; every code path that would fork a
+new process or rebuild a replica checks it and refuses instead of
+forking. Supervisors then fail their respawn attempts fast, circuit
+breakers trip, healers go quiet, and exit completes.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+_exiting = False
+
+
+def mark_interpreter_exiting() -> None:
+    """Latch shutdown: called by the atexit backstops before teardown."""
+    global _exiting
+    _exiting = True
+
+
+def interpreter_exiting() -> bool:
+    """Whether forking a new process now would outlive the interpreter.
+
+    True once any teardown backstop has run, once CPython finalization
+    has begun, or once the main thread has finished — from that point a
+    daemon thread must shut down rather than spawn replacement work.
+    """
+    return (
+        _exiting
+        or sys.is_finalizing()
+        or not threading.main_thread().is_alive()
+    )

@@ -108,9 +108,11 @@ from repro.serving.concurrency import (
     deadline_scope,
 )
 from repro.serving.plan_cache import PlanCache
+from repro.serving.replicas import ReplicaSet
 from repro.sql.translator import SQLTranslator
 from repro.storage.layouts import LayoutData, RDFLayout, SimpleLayout, TableSpec
 from repro.storage.memory_backend import MemoryBackend
+from repro.storage.replication import EpochDelta, ReplicationLog
 from repro.storage.sharded_backend import ShardedBackend
 from repro.storage.sqlite_backend import SQLiteBackend
 
@@ -128,6 +130,29 @@ SHARDS_ENV = "REPRO_SHARDS"
 #: ``repro.slow_query`` logger as a structured WARNING record with the
 #: query's trace attached (when tracing is on). Unset = no slow log.
 SLOW_QUERY_ENV = "REPRO_SLOW_QUERY_MS"
+
+#: Environment knob: default replica count for systems constructed with
+#: a *named* backend and no explicit ``replicas`` argument. N >= 1
+#: builds N read-only replica backends fed asynchronously by the write
+#: path's epoch-tagged deltas and routes every read across them; unset
+#: (or < 1) keeps the structurally unchanged single-backend read path.
+REPLICAS_ENV = "REPRO_REPLICAS"
+
+#: Environment knob: how long a read carrying an epoch token waits for
+#: its replica to catch up before failing with a
+#: :class:`~repro.serving.replicas.ReplicaLagTimeoutError`, in
+#: milliseconds. Default 5000.
+REPLICA_LAG_ENV = "REPRO_REPLICA_LAG_MS"
+
+#: Environment knob: per-replica admission bound (queries in flight on
+#: one replica before the router sheds to its siblings). Default 8.
+REPLICA_IN_FLIGHT_ENV = "REPRO_REPLICA_MAX_IN_FLIGHT"
+
+#: Default per-replica admission bound (see ``REPRO_REPLICA_MAX_IN_FLIGHT``).
+DEFAULT_REPLICA_IN_FLIGHT = 8
+
+#: Default token-wait deadline in seconds (see ``REPRO_REPLICA_LAG_MS``).
+DEFAULT_REPLICA_LAG_TIMEOUT = 5.0
 
 #: The slow-query logger; handlers attached here receive one record per
 #: slow query with ``query_ms`` / ``strategy`` / ``query_trace`` extras.
@@ -154,6 +179,39 @@ def _env_slow_query_ms() -> Optional[float]:
     except ValueError:
         return None
     return threshold if threshold >= 0 else None
+
+
+def _env_replicas() -> Optional[int]:
+    raw = os.environ.get(REPLICAS_ENV)
+    if raw is None:
+        return None
+    try:
+        count = int(raw)
+    except ValueError:
+        return None
+    return count if count >= 1 else None
+
+
+def _env_replica_lag_seconds() -> float:
+    raw = os.environ.get(REPLICA_LAG_ENV)
+    if raw is None:
+        return DEFAULT_REPLICA_LAG_TIMEOUT
+    try:
+        millis = float(raw)
+    except ValueError:
+        return DEFAULT_REPLICA_LAG_TIMEOUT
+    return millis / 1000.0 if millis >= 0 else DEFAULT_REPLICA_LAG_TIMEOUT
+
+
+def _env_replica_in_flight() -> int:
+    raw = os.environ.get(REPLICA_IN_FLIGHT_ENV)
+    if raw is None:
+        return DEFAULT_REPLICA_IN_FLIGHT
+    try:
+        bound = int(raw)
+    except ValueError:
+        return DEFAULT_REPLICA_IN_FLIGHT
+    return bound if bound >= 1 else DEFAULT_REPLICA_IN_FLIGHT
 
 #: Strategies whose chosen reformulation does not depend on data
 #: statistics; their cached plans survive writes (epoch stamp ``None``).
@@ -218,6 +276,14 @@ class AnswerReport:
     #: The exception this query raised, when ``answer_many`` ran with
     #: ``on_error="collect"``; ``None`` on success (then ``choice`` is set).
     error: Optional[BaseException] = None
+    #: The **exact data epoch this answer observed** — the backend state
+    #: the rows were read from, frozen for the duration of the read by
+    #: the serving barrier. On a replicated system this is the chosen
+    #: replica's applied epoch (always ``>=`` the read's ``min_epoch``
+    #: token); usable as a session token for subsequent reads.
+    epoch: Optional[int] = None
+    #: Which replica served the read (``None`` on the primary path).
+    replica: Optional[int] = None
 
     @property
     def failed(self) -> bool:
@@ -265,6 +331,17 @@ class OBDASystem:
     hosts each shard's engine in a long-lived forked worker and scatter
     results return as columnar shared-memory batches — real parallelism
     on stock CPython, with answers still byte-identical to serial.
+
+    Replicated serving: ``replicas=N`` (or ``REPRO_REPLICAS>=1``)
+    builds N read-only replicas of the whole backend (same kind,
+    shards and substrate), fed asynchronously by the write path's
+    epoch-tagged deltas through a bounded replication log, and routes
+    every read across them with least-loaded selection and per-replica
+    admission control. Session consistency rides epoch tokens
+    (:meth:`epoch_token`, ``answer(..., min_epoch=tok)``); the default
+    token is the primary's current epoch, so in-process callers keep
+    exact read-your-writes with answers byte-identical to the
+    unreplicated system.
     """
 
     def __init__(
@@ -287,6 +364,9 @@ class OBDASystem:
         executor: Optional[str] = None,
         trace: Optional[bool] = None,
         slow_query_ms: Optional[float] = None,
+        replicas: Optional[int] = None,
+        replica_lag_timeout_seconds: Optional[float] = None,
+        replica_max_in_flight: Optional[int] = None,
     ) -> None:
         self.kb = KnowledgeBase(tbox, abox)
         #: When True, every insert_facts re-validates the disjointness
@@ -306,36 +386,53 @@ class OBDASystem:
         else:
             self.layout = layout
 
+        # The backend factory doubles as the replica factory: every
+        # replica is a full backend of the primary's exact construction
+        # (same kind, shard count and substrate), which is what makes
+        # shard routes portable and replica answers byte-identical.
+        backend_factory = None
         if isinstance(backend, str):
             if shards is None:
                 shards = _env_shards()
             if backend == "memory":
                 if shards:
-                    self.backend = ShardedBackend(
-                        shards,
-                        child_factory=lambda: MemoryBackend(
-                            workers=engine_workers
-                        ),
-                        workers=shard_workers,
-                        max_statement_length=DB2_STATEMENT_LIMIT,
-                        substrate=executor,
-                    )
+                    shard_count = shards
+
+                    def backend_factory() -> ShardedBackend:
+                        return ShardedBackend(
+                            shard_count,
+                            child_factory=lambda: MemoryBackend(
+                                workers=engine_workers
+                            ),
+                            workers=shard_workers,
+                            max_statement_length=DB2_STATEMENT_LIMIT,
+                            substrate=executor,
+                        )
+
                 else:
-                    self.backend = MemoryBackend(
-                        workers=engine_workers, substrate=executor
-                    )
+
+                    def backend_factory() -> MemoryBackend:
+                        return MemoryBackend(
+                            workers=engine_workers, substrate=executor
+                        )
+
             elif backend == "sqlite":
                 if shards:
-                    self.backend = ShardedBackend(
-                        shards,
-                        child="sqlite",
-                        workers=shard_workers,
-                        substrate=executor,
-                    )
+                    shard_count = shards
+
+                    def backend_factory() -> ShardedBackend:
+                        return ShardedBackend(
+                            shard_count,
+                            child="sqlite",
+                            workers=shard_workers,
+                            substrate=executor,
+                        )
+
                 else:
-                    self.backend = SQLiteBackend()
+                    backend_factory = SQLiteBackend
             else:
                 raise ValueError(f"unknown backend {backend!r}")
+            self.backend = backend_factory()
         else:
             if shards is not None:
                 raise ValueError(
@@ -347,6 +444,46 @@ class OBDASystem:
         data = self.layout.build(abox, tbox)
         self.backend.load(data)
         self._table_names = {spec.name for spec in data.tables}
+
+        # Replicated serving (see repro.serving.replicas): N read-only
+        # replica backends fed asynchronously by the write path's
+        # epoch-tagged deltas through a bounded replication log. The
+        # log is bootstrapped from the same LayoutData the primary
+        # loaded, at epoch 0 — exactly the primary's starting state.
+        replicas_explicit = replicas is not None
+        if replicas is None:
+            replicas = _env_replicas()
+        self._replication_log: Optional[ReplicationLog] = None
+        self._replicas: Optional[ReplicaSet] = None
+        if replicas and backend_factory is None:
+            # An explicit request is a hard error; the env knob is a
+            # fleet-wide default and degrades to unreplicated where a
+            # custom backend object cannot be cloned into replicas.
+            if replicas_explicit:
+                raise ValueError(
+                    "replicas= requires a named backend "
+                    "('memory'/'sqlite'); custom backend objects "
+                    "cannot be cloned into replicas"
+                )
+            replicas = 0
+        if replicas:
+            self._replication_log = ReplicationLog()
+            self._replication_log.bootstrap(data, epoch=0)
+            self._replicas = ReplicaSet(
+                replicas,
+                backend_factory,
+                self._replication_log,
+                max_in_flight=(
+                    replica_max_in_flight
+                    if replica_max_in_flight is not None
+                    else _env_replica_in_flight()
+                ),
+                lag_timeout_seconds=(
+                    replica_lag_timeout_seconds
+                    if replica_lag_timeout_seconds is not None
+                    else _env_replica_lag_seconds()
+                ),
+            )
         self.translator = SQLTranslator(self.layout)
         self.statistics = DataStatistics.from_abox(abox)
         self.cost_model = ExternalCostModel(self.statistics)
@@ -501,6 +638,23 @@ class OBDASystem:
             self._apply_write(added, removed)
             return len(present)
 
+    def epoch_token(self) -> int:
+        """The current data epoch as a **session token**.
+
+        A client that captures this after a write (every write advances
+        the epoch by one) and passes it as ``min_epoch`` to later reads
+        gets read-your-writes across replicas: no answer carrying that
+        token can come from a replica that has not applied the write.
+        ``report.epoch`` on any :class:`AnswerReport` works as a token
+        too (monotonic reads: never observe older state again).
+        """
+        return self.data_epoch
+
+    @property
+    def replica_set(self) -> Optional[ReplicaSet]:
+        """The serving replica set, or ``None`` when unreplicated."""
+        return self._replicas
+
     def _as_assertion(self, value: Union[Assertion, Tuple]) -> Assertion:
         """Accept ``ConceptAssertion``/``RoleAssertion`` or plain tuples
         ``("C", "a")`` / ``("R", "a", "b")``."""
@@ -531,8 +685,11 @@ class OBDASystem:
             return
         inserts = self._rows_by_table(added)
         deletes = self._rows_by_table(removed)
+        new_tables = []
         for table in (*inserts, *deletes):
-            self._ensure_table(table)
+            spec = self._ensure_table(table)
+            if spec is not None:
+                new_tables.append(spec)
         # The exclusive barrier drains every in-flight query, then the
         # backend, the statistics and the epoch all change before the
         # next query is admitted — a reader can never observe the
@@ -546,6 +703,21 @@ class OBDASystem:
                 | {predicate for predicate, _ in removed}
             )
             self.data_epoch += 1
+            if self._replication_log is not None:
+                # Delta shipping: record the write (created tables plus
+                # both row deltas) under its resulting epoch, then fan
+                # it out to the replica queues. Recording happens under
+                # the exclusive barrier so deltas hit the log in strict
+                # epoch order; applying is asynchronous — the write
+                # returns without waiting for any replica.
+                delta = EpochDelta(
+                    epoch=self.data_epoch,
+                    new_tables=tuple(new_tables),
+                    inserts=inserts,
+                    deletes=deletes,
+                )
+                self._replication_log.record(delta)
+                self._replicas.publish(delta)
 
     def _rows_by_table(self, facts: Set[Fact]) -> Dict[str, List[Tuple]]:
         """Group facts per backend table, dictionary-encoded."""
@@ -561,10 +733,12 @@ class OBDASystem:
             )
         return grouped
 
-    def _ensure_table(self, table: str) -> None:
-        """Create a table for a predicate outside the loaded schema."""
+    def _ensure_table(self, table: str) -> Optional[TableSpec]:
+        """Create a table for a predicate outside the loaded schema;
+        returns its spec when one was created (the write's delta ships
+        it to the replicas) and ``None`` when the table already existed."""
         if table in self._table_names:
-            return
+            return None
         if table.startswith("c_"):
             spec = TableSpec(name=table, columns=("s",), rows=[], indexes=(("s",),))
         else:
@@ -576,6 +750,7 @@ class OBDASystem:
             )
         self.backend.load(LayoutData(tables=[spec]))
         self._table_names.add(table)
+        return spec
 
     def _refresh_statistics(self, predicates: Set[str]) -> None:
         """Recompute logical statistics for the predicates a write touched.
@@ -869,17 +1044,34 @@ class OBDASystem:
         use_uscq: bool = False,
         time_budget_seconds: Optional[float] = None,
         use_plan_cache: bool = True,
+        min_epoch: Optional[int] = None,
     ) -> AnswerReport:
         """Answer *query*: reformulate, translate, evaluate, decode.
+
+        On a replicated system (``replicas=N`` / ``REPRO_REPLICAS``)
+        the read is routed to a replica; ``min_epoch`` is the **session
+        token** deciding how fresh that replica must be. ``None`` (the
+        default) uses the primary's current epoch — the state this
+        process has already observed, so in-process callers keep exact
+        read-your-writes semantics with no code change. An explicit
+        token from :meth:`epoch_token` or a prior report's
+        ``report.epoch`` pins freshness for out-of-process clients
+        (``min_epoch=0`` accepts any replica state). The chosen replica
+        blocks until it has applied the token's epoch, bounded by the
+        lag deadline (:class:`~repro.serving.replicas.
+        ReplicaLagTimeoutError` past it), and ``report.epoch`` records
+        the exact epoch the answer observed. Without replicas the
+        token is ignored — the primary always serves its own epoch.
 
         With tracing on (``trace=True`` / ``REPRO_TRACE=1``) the report
         carries one coherent :class:`~repro.obs.trace.QueryTrace`:
         parse, reformulation (cover-search and translation children with
         PerfectRef / cache-delta counters), execution (per-shard
         children on a sharded backend, including span subtrees shipped
-        back from forked workers) and decode. Metrics are recorded
-        either way, and a query meeting the slow-query threshold is
-        logged with its trace attached.
+        back from forked workers, or the replica-routing span on a
+        replicated system) and decode. Metrics are recorded either way,
+        and a query meeting the slow-query threshold is logged with its
+        trace attached.
         """
         query_started = time.perf_counter()
         tracer: Optional[Tracer] = None
@@ -911,23 +1103,51 @@ class OBDASystem:
                     )
             self._check_saturation_complete(choice)
             started = time.perf_counter()
-            # Shared barrier: a concurrent write drains this read before
-            # mutating anything, so the rows and the saturation state
-            # the re-check sees belong to one consistent epoch.
-            with self._barrier.shared():
+            replica_index: Optional[int] = None
+            if self._replicas is not None:
+                # Replicated read: route to a replica at least as fresh
+                # as the session token (default: the primary's current
+                # epoch — exact read-your-writes for in-process callers).
+                token = self.data_epoch if min_epoch is None else min_epoch
                 with root.child(
                     "execute", backend=self.backend.name
                 ) as exec_span:
                     with activate(exec_span):
-                        rows = self._execute_sql(choice)
+                        rows, observed_epoch, replica_index = (
+                            self._replicas.execute(
+                                choice.sql,
+                                min_epoch=token,
+                                route=choice.shard_route,
+                            )
+                        )
                     if exec_span.enabled:
-                        self._describe_execution(exec_span, choice, rows)
-                # Re-checked *after* execution: a write may have
-                # truncated the saturation between the first check and
-                # the table read, and the rows would then
-                # under-approximate. (A write landing after this point
-                # is fine — the answer is the valid pre-write one.)
-                self._check_saturation_complete(choice)
+                        exec_span.set(
+                            rows=len(rows),
+                            sql_chars=len(choice.sql),
+                            replica=replica_index,
+                        )
+                self._check_saturation_complete(choice)  # see below
+            else:
+                # Shared barrier: a concurrent write drains this read
+                # before mutating anything, so the rows and the
+                # saturation state the re-check sees belong to one
+                # consistent epoch.
+                with self._barrier.shared():
+                    with root.child(
+                        "execute", backend=self.backend.name
+                    ) as exec_span:
+                        with activate(exec_span):
+                            rows = self._execute_sql(choice)
+                        if exec_span.enabled:
+                            self._describe_execution(exec_span, choice, rows)
+                    # Re-checked *after* execution: a write may have
+                    # truncated the saturation between the first check
+                    # and the table read, and the rows would then
+                    # under-approximate. (A write landing after this
+                    # point is fine — the answer is the valid pre-write
+                    # one.)
+                    self._check_saturation_complete(choice)
+                    observed_epoch = self.data_epoch
             execution = time.perf_counter() - started
             with root.child("decode") as decode_span:
                 answers = self._decode(query, rows)
@@ -938,6 +1158,8 @@ class OBDASystem:
             answers=answers,
             execution_seconds=execution,
             cache_stats=self.cache_stats(),
+            epoch=observed_epoch,
+            replica=replica_index,
         )
         if tracer is not None:
             report.trace = tracer.trace()
@@ -1056,6 +1278,7 @@ class OBDASystem:
         on_error: str = "raise",
         max_in_flight: Optional[int] = None,
         timeout_seconds: Optional[float] = None,
+        min_epoch: Optional[int] = None,
     ) -> List[AnswerReport]:
         """Answer a batch of queries, reports in input order.
 
@@ -1084,6 +1307,9 @@ class OBDASystem:
         ``"raise"`` (the default) propagates its exception, ``"collect"``
         records it on that query's :class:`AnswerReport` (``error`` set,
         ``answers`` empty) and lets the rest of the batch finish.
+
+        ``min_epoch`` is the whole batch's session token on a
+        replicated system (see :meth:`answer`).
         """
         if on_error not in ("raise", "collect"):
             raise ValueError(
@@ -1106,6 +1332,7 @@ class OBDASystem:
                     minimize=minimize,
                     use_uscq=use_uscq,
                     use_plan_cache=use_plan_cache,
+                    min_epoch=min_epoch,
                 )
             except Exception as exc:
                 if on_error == "raise":
@@ -1178,8 +1405,25 @@ class OBDASystem:
         #: (query, future | None, dispatch time); None = never admitted.
         dispatched: List[Tuple[Union[str, CQ], Optional[Future], float]] = []
         timed_out_reports: Dict[int, AnswerReport] = {}
+        #: ``admission.released`` sampled before the admit that last
+        #: proved the gate full for a whole timeout; ``None`` = gate not
+        #: currently proven stuck. While no release has happened since,
+        #: re-waiting the full timeout for the next query is pure wasted
+        #: wall-clock — the outcome is already known — so those queries
+        #: fail fast at the gate instead of timing out serially.
+        gate_stuck_since: Optional[int] = None
         for position, query in enumerate(queries):
+            released_before = admission.released
+            if (
+                gate_stuck_since is not None
+                and released_before == gate_stuck_since
+            ):
+                timed_out_reports[position] = timed_out(query)
+                dispatched.append((query, None, 0.0))
+                continue
+            gate_stuck_since = None
             if not admission.admit(timeout_seconds):
+                gate_stuck_since = released_before
                 timed_out_reports[position] = timed_out(query)
                 dispatched.append((query, None, 0.0))
                 continue
@@ -1208,6 +1452,15 @@ class OBDASystem:
             try:
                 reports.append(future.result(timeout=remaining))
             except FutureTimeoutError:
+                # Deadline accounting: a timed-out query must not burn
+                # wall-clock or capacity from the rest of the batch. If
+                # the task never started, cancel() reclaims its pool
+                # slot — and its admission slot, which the task's own
+                # finally-release will now never run for. (A task
+                # already running is abandoned, not killed; its
+                # deadline_scope caps its storage-layer waits.)
+                if future.cancel():
+                    admission.release()
                 reports.append(timed_out(query))
         wall_seconds = time.perf_counter() - started
         self.last_batch_stats = {
@@ -1341,6 +1594,11 @@ class OBDASystem:
         fetch = getattr(self.backend, "metrics_snapshot", None)
         if fetch is not None:
             merged.merge_snapshot(fetch())
+        if self._replicas is not None:
+            replica_snapshot = self._replicas.metrics_snapshot()
+            if replica_snapshot is not None:
+                merged.merge_snapshot(replica_snapshot)
+            merged.set_gauge("repro.replica.lag.max", self._replicas.max_lag())
         for cache_name, counters in self.cache_stats().items():
             for key, value in counters.items():
                 merged.set_gauge(f"repro.cache.{cache_name}.{key}", value)
@@ -1369,6 +1627,8 @@ class OBDASystem:
             self._serving_pool_size = 0
         if pool is not None:
             pool.shutdown(wait=True)
+        if self._replicas is not None:
+            self._replicas.close()
         self.backend.close()
         self.plan_cache.clear()
         self.reformulation_cache.clear()

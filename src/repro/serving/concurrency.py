@@ -192,6 +192,11 @@ class AdmissionController:
         self.admitted = 0
         self.in_flight = 0
         self.peak_in_flight = 0
+        #: Monotone count of slots given back. A caller that just proved
+        #: the gate full for a whole timeout can compare this before and
+        #: after: unchanged means nothing freed meanwhile, so waiting the
+        #: full timeout again would be pure wasted wall-clock.
+        self.released = 0
 
     def admit(self, timeout: Optional[float] = None) -> bool:
         """Take a slot, blocking until one frees.
@@ -215,6 +220,7 @@ class AdmissionController:
         """Give the slot back (the query finished or failed)."""
         with self._lock:
             self.in_flight -= 1
+            self.released += 1
         self._gate.release()
 
     def stats(self) -> Dict[str, int]:
@@ -225,4 +231,5 @@ class AdmissionController:
                 "admitted": self.admitted,
                 "in_flight": self.in_flight,
                 "peak_in_flight": self.peak_in_flight,
+                "released": self.released,
             }

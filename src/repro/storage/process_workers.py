@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.faults import FaultRuntime, TransientWorkerFault, WorkerFaultConfig
+from repro.lifecycle import interpreter_exiting, mark_interpreter_exiting
 from repro.obs.metrics import get_registry, reset_registry
 from repro.obs.trace import Tracer
 from repro.storage.base import Backend, BulkLoader, Row
@@ -135,7 +136,14 @@ _ATEXIT_LOCK = threading.Lock()
 
 
 def _close_live_workers() -> None:
-    """atexit backstop: close any worker a caller forgot to."""
+    """atexit backstop: close any worker a caller forgot to.
+
+    Latches interpreter shutdown first so supervisors and replica
+    healers stop forking replacements while the process table drains —
+    otherwise ``multiprocessing``'s own exit hook (which joins children
+    without a timeout) can wait forever on a churn of fresh forks.
+    """
+    mark_interpreter_exiting()
     for worker in list(_LIVE_WORKERS):
         try:
             worker.close()
@@ -477,6 +485,14 @@ class ProcessShardWorker(Backend):
         import multiprocessing
         from multiprocessing import resource_tracker
 
+        if interpreter_exiting():
+            # A worker forked now would inherit a dying runtime, exit
+            # immediately and feed a respawn loop that keeps the exit
+            # hook's untimed join from ever draining.
+            raise RuntimeError(
+                "interpreter is shutting down; refusing to fork a "
+                "shard worker"
+            )
         ctx = multiprocessing.get_context("fork")
         # Start the resource tracker *before* forking so every worker
         # inherits it: segment register/unregister messages from both

@@ -1,0 +1,151 @@
+"""Epoch-tagged delta shipping for read replicas.
+
+The write path of :class:`~repro.obda.system.OBDASystem` advances a
+monotonic **data epoch** on every write; this module gives those writes
+a durable, shippable form so N read-only replica backends can follow
+the primary asynchronously:
+
+* :class:`EpochDelta` — one write's effect, tagged with the epoch the
+  primary reached by applying it: tables created by the write, rows
+  inserted and rows deleted (dictionary-encoded, grouped per table) —
+  exactly the payloads :meth:`repro.storage.base.Backend.apply_changes`
+  takes, so applying a delta to a replica is one atomic backend call.
+* :class:`ReplicationLog` — the primary-side changelog: a bounded log
+  of recent deltas over an epoch-tagged **base snapshot**, deliberately
+  the same shape as the supervised shard state of PR 8
+  (:class:`~repro.storage.supervisor.ShardState`: base ``LayoutData`` +
+  bounded write log, overflow folded oldest-first into the base). The
+  fold itself reuses the supervisor's write-log entry semantics
+  (``load`` + ``apply`` entries via the same applier), so a replica
+  bootstrapped from :meth:`ReplicationLog.snapshot` and caught up from
+  :meth:`ReplicationLog.deltas_since` holds byte-identical tables to a
+  replica that replayed every write since epoch zero.
+
+A replica that has fallen behind the bounded log's tail (its epoch
+predates the folded base) cannot catch up incrementally —
+:meth:`deltas_since` returns ``None`` and the replica set re-bootstraps
+it from the current folded snapshot instead, the same base-snapshot
+rebuild a crashed supervised worker gets.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.storage.layouts import LayoutData, TableSpec
+from repro.storage.supervisor import _apply_entry, _TableState
+
+
+@dataclass(frozen=True)
+class EpochDelta:
+    """One write's shippable effect, tagged with its resulting epoch."""
+
+    #: The data epoch the primary reached by applying this delta.
+    epoch: int
+    #: Tables the write created (empty specs; new predicates outside
+    #: the loaded schema). Replicas must create them before applying.
+    new_tables: Tuple[TableSpec, ...] = ()
+    #: Rows inserted, dictionary-encoded, grouped per backend table.
+    inserts: Dict[str, List[Tuple]] = field(default_factory=dict)
+    #: Rows deleted, same grouping.
+    deletes: Dict[str, List[Tuple]] = field(default_factory=dict)
+
+
+def apply_delta(backend, delta: EpochDelta) -> None:
+    """Apply one delta to a *backend*: create its new tables, then apply
+    inserts and deletes as one atomic ``apply_changes`` call (the same
+    order the primary's write path used)."""
+    if delta.new_tables:
+        backend.load(LayoutData(tables=list(delta.new_tables)))
+    if delta.inserts or delta.deletes:
+        backend.apply_changes(delta.inserts, delta.deletes)
+
+
+class ReplicationLog:
+    """The primary's bounded changelog: base snapshot ⊕ recent deltas.
+
+    Thread-safe: the write path records under the system's exclusive
+    barrier, while replica bootstrap/catch-up reads race in from router
+    threads. The **epoch** of the folded base plus the logged deltas
+    always equals the primary's data epoch after the last recorded
+    write (loads and writes both advance it by exactly one).
+    """
+
+    def __init__(self, max_log: int = 256) -> None:
+        self._lock = threading.Lock()
+        self._tables: Dict[str, _TableState] = {}
+        self._log: Deque[EpochDelta] = deque()
+        self._base_epoch = 0
+        self.max_log = max(0, max_log)
+
+    # -- primary side --------------------------------------------------
+    def bootstrap(self, data: LayoutData, epoch: int = 0) -> None:
+        """Install the primary's initial load as the base snapshot."""
+        with self._lock:
+            self._tables = {}
+            _apply_entry(self._tables, ("load", data))
+            self._log.clear()
+            self._base_epoch = epoch
+
+    def record(self, delta: EpochDelta) -> None:
+        """Append one acknowledged write; fold overflow into the base.
+
+        Deltas must arrive in epoch order (the write path records them
+        under its exclusive barrier, which guarantees it).
+        """
+        with self._lock:
+            if delta.epoch != self._epoch_locked() + 1:
+                raise ValueError(
+                    f"replication log at epoch {self._epoch_locked()} "
+                    f"cannot record delta for epoch {delta.epoch}"
+                )
+            self._log.append(delta)
+            while len(self._log) > self.max_log:
+                self._fold_one_locked()
+
+    def _fold_one_locked(self) -> None:
+        delta = self._log.popleft()
+        # Reuse the PR 8 write-log entry applier: a delta folds as one
+        # "load" entry per created table followed by one "apply" entry.
+        for spec in delta.new_tables:
+            _apply_entry(self._tables, ("load", LayoutData(tables=[spec])))
+        _apply_entry(self._tables, ("apply", delta.inserts, delta.deletes))
+        self._base_epoch = delta.epoch
+
+    def _epoch_locked(self) -> int:
+        return self._log[-1].epoch if self._log else self._base_epoch
+
+    @property
+    def epoch(self) -> int:
+        """The epoch of the newest recorded delta (or the base)."""
+        with self._lock:
+            return self._epoch_locked()
+
+    # -- replica side --------------------------------------------------
+    def snapshot(self) -> Tuple[LayoutData, int]:
+        """The fully folded current state as ``(LayoutData, epoch)`` —
+        what a fresh (or re-bootstrapped) replica loads."""
+        with self._lock:
+            tables = {
+                name: state.copy() for name, state in self._tables.items()
+            }
+            for delta in self._log:
+                for spec in delta.new_tables:
+                    _apply_entry(tables, ("load", LayoutData(tables=[spec])))
+                _apply_entry(tables, ("apply", delta.inserts, delta.deletes))
+            data = LayoutData(
+                tables=[state.spec() for state in tables.values()]
+            )
+            return data, self._epoch_locked()
+
+    def deltas_since(self, epoch: int) -> Optional[List[EpochDelta]]:
+        """The recorded deltas after *epoch*, oldest first — or ``None``
+        when *epoch* predates the folded base (the caller must
+        re-bootstrap from :meth:`snapshot` instead)."""
+        with self._lock:
+            if epoch < self._base_epoch:
+                return None
+            return [delta for delta in self._log if delta.epoch > epoch]

@@ -62,6 +62,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.engine.parallel import Backoff
 from repro.faults import FaultInjector, TransientWorkerFault
+from repro.lifecycle import interpreter_exiting
 from repro.obs.metrics import get_registry
 from repro.obs.trace import current_span
 from repro.serving.concurrency import QueryTimeoutError
@@ -593,6 +594,13 @@ class SupervisedShardWorker(Backend):
     def _respawn_cycle_locked(self, reason: str = "death") -> bool:
         """Up to K spawn+rebuild+verify attempts with backoff; trips the
         circuit breaker (and returns ``False``) when all fail."""
+        if interpreter_exiting():
+            # Never fork during interpreter exit: a fresh worker would
+            # die in the dying runtime and re-enter this cycle, keeping
+            # the exit hook's untimed join from draining. Trip straight
+            # to degraded in-coordinator execution instead.
+            self._trip_circuit_locked()
+            return False
         registry = get_registry()
         parent = current_span()
         for attempt in range(self._config.max_respawns):
@@ -654,6 +662,8 @@ class SupervisedShardWorker(Backend):
 
     def _probe_locked(self) -> bool:
         """One half-open recovery attempt on an OPEN circuit."""
+        if interpreter_exiting():
+            return False
         registry = get_registry()
         with current_span().child(
             "worker.respawn", shard=self.shard, reason="probe"

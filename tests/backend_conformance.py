@@ -27,16 +27,23 @@ count, runs through one shared contract:
   backend that can still be loaded and queried;
 * :func:`check_dialect_translations` — translated CQ / UCQ / JUCQ /
   USCQ / JUSCQ reformulations against the trusted naive evaluator, per
-  layout.
+  layout;
+* :func:`check_replica_consistency` — the **session-consistency
+  oracle** for replicated serving: concurrent readers with epoch
+  tokens against a writer, every answer required to equal the
+  sequential single-backend oracle at exactly the epoch it reports,
+  with that epoch never below the reader's token.
 
 ``tests/test_backend_conformance.py`` runs the full backend × layout ×
-strategy matrix; the original differential tests delegate here too.
+strategy matrix (including replicas × {1,2,4} × substrates for the
+replica oracle); the original differential tests delegate here too.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Sequence
+import threading
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.covers.reformulate import (
     cover_based_reformulation,
@@ -445,3 +452,231 @@ def check_dialect_translations(
         assert_matches(cover_based_uscq_reformulation(cover, tbox))
     finally:
         backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Replicated-serving session consistency
+# ---------------------------------------------------------------------------
+#: Probe queries for the replica oracle (Example 1 vocabulary: one
+#: concept with a subsumption chain, one role with inference, one join).
+REPLICA_PROBES = (
+    "q(x) <- Researcher(x)",
+    "q(x, y) <- worksWith(x, y)",
+    "q(x) <- PhDStudent(x), worksWith(y, x)",
+)
+
+#: Predicates the oracle's write script draws from.
+_WRITE_CONCEPTS = ("Researcher", "PhDStudent")
+_WRITE_ROLES = ("worksWith", "supervisedBy")
+
+
+def replica_consistency_kb():
+    """The oracle's KB: paper Example 1 constraints (minus the negative
+    one, so random inserts can never make the KB inconsistent) over a
+    small seed ABox that mentions every write-script predicate."""
+    from repro.dllite.abox import ABox
+    from repro.dllite.axioms import ConceptInclusion, RoleInclusion
+    from repro.dllite.tbox import TBox
+    from repro.dllite.vocabulary import AtomicConcept, Exists, Role
+
+    works_with = Role("worksWith")
+    supervised_by = Role("supervisedBy")
+    tbox = TBox(
+        [
+            ConceptInclusion(
+                AtomicConcept("PhDStudent"), AtomicConcept("Researcher")
+            ),
+            ConceptInclusion(Exists(works_with), AtomicConcept("Researcher")),
+            ConceptInclusion(
+                Exists(works_with.inverted()), AtomicConcept("Researcher")
+            ),
+            RoleInclusion(works_with, works_with.inverted()),
+            RoleInclusion(supervised_by, works_with),
+            ConceptInclusion(
+                Exists(supervised_by), AtomicConcept("PhDStudent")
+            ),
+        ]
+    )
+    abox = ABox()
+    abox.add_role("worksWith", "Ioana", "Francois")
+    abox.add_role("supervisedBy", "Damian", "Ioana")
+    abox.add_concept("PhDStudent", "Damian")
+    abox.add_concept("Researcher", "Ioana")
+    return tbox, abox
+
+
+def replica_write_script(
+    rng: random.Random, writes: int
+) -> List[List[Tuple]]:
+    """A deterministic write script where **every step changes the
+    data** — so each step advances the primary's epoch by exactly one
+    and the sequential history indexes cleanly by epoch. Steps insert
+    fresh facts (fresh individuals, so they cannot pre-exist) or delete
+    facts a previous step inserted."""
+    script: List[List[Tuple]] = []
+    inserted: List[Tuple] = []
+    for step in range(writes):
+        if inserted and rng.random() < 0.3:
+            victim = inserted.pop(rng.randrange(len(inserted)))
+            script.append([("delete", victim)])
+            continue
+        batch = []
+        for j in range(rng.randrange(1, 3)):
+            name = f"w{step}_{j}"
+            if rng.random() < 0.5:
+                fact = (rng.choice(_WRITE_CONCEPTS), name)
+            else:
+                fact = (rng.choice(_WRITE_ROLES), name, f"v{step}_{j}")
+            batch.append(("insert", fact))
+            inserted.append(fact)
+        script.append(batch)
+    return script
+
+
+def _apply_script_step(system, step: List[Tuple]) -> None:
+    inserts = [fact for op, fact in step if op == "insert"]
+    deletes = [fact for op, fact in step if op == "delete"]
+    if inserts:
+        assert system.insert_facts(inserts) == len(inserts)
+    if deletes:
+        assert system.delete_facts(deletes) == len(deletes)
+
+
+def check_replica_consistency(
+    make_system: Callable,
+    seed: int,
+    queries: Sequence[str] = REPLICA_PROBES,
+    writes: int = 10,
+    readers: int = 3,
+    strategy: str = "ucq",
+) -> None:
+    """The session-consistency oracle for replicated serving.
+
+    ``make_system(tbox, abox)`` must return a **replicated**
+    :class:`~repro.obda.system.OBDASystem` (any backend, shard count,
+    substrate or replica count — including 1, and including seeded
+    replica-kill / lag chaos via ``REPRO_FAULTS``).
+
+    The oracle first replays a deterministic, always-effective write
+    script on an *unreplicated* reference system, recording every probe
+    query's answers at every epoch — the sequential history
+    ``history[query][epoch]``. Then, on the system under test, a writer
+    thread replays the same script while reader threads issue reads
+    under three token modes (``fresh``: default session token; ``any``:
+    ``min_epoch=0``; ``monotonic``: the reader's last observed epoch).
+    Every report must satisfy, with ``t`` the effective token:
+
+    * ``report.epoch >= t`` — the token was honored (read-your-writes /
+      monotonic reads);
+    * ``report.answers == history[query][report.epoch]`` — the answer
+      is **byte-identical to the single-backend sequential oracle at
+      exactly the epoch the report claims**, i.e. some epoch ``>= t``.
+
+    A final fully-caught-up read per query must equal the history at
+    the last epoch.
+    """
+    rng = random.Random(seed)
+    script = replica_write_script(rng, writes)
+
+    # Sequential history on an unreplicated single-backend reference.
+    from repro.obda.system import OBDASystem
+
+    tbox, abox = replica_consistency_kb()
+    history: Dict[str, List] = {query: [] for query in queries}
+    with OBDASystem(tbox, clone_abox(abox), backend="memory") as reference:
+        for query in queries:
+            history[query].append(
+                reference.answer(query, strategy=strategy).answers
+            )
+        for step in script:
+            _apply_script_step(reference, step)
+            assert reference.data_epoch == len(history[queries[0]]), (
+                "write script step was not a single-epoch write"
+            )
+            for query in queries:
+                history[query].append(
+                    reference.answer(query, strategy=strategy).answers
+                )
+
+    tbox, abox = replica_consistency_kb()
+    system = make_system(tbox, abox)
+    assert system.replica_set is not None, (
+        "make_system must build a replicated system"
+    )
+    failures: List[str] = []
+    done = threading.Event()
+
+    def read_loop(reader_index: int) -> None:
+        from repro.serving.concurrency import QueryTimeoutError
+
+        reader_rng = random.Random(f"{seed}:{reader_index}")
+        last_seen = 0
+        while not failures and (not done.is_set() or last_seen == 0):
+            query = reader_rng.choice(list(queries))
+            mode = reader_rng.choice(("fresh", "any", "monotonic"))
+            try:
+                if mode == "fresh":
+                    token = system.epoch_token()  # >= this at answer time
+                    report = system.answer(query, strategy=strategy)
+                elif mode == "any":
+                    token = 0
+                    report = system.answer(
+                        query, strategy=strategy, min_epoch=0
+                    )
+                else:
+                    token = last_seen
+                    report = system.answer(
+                        query, strategy=strategy, min_epoch=last_seen
+                    )
+            except QueryTimeoutError:
+                # Deadline-bounded degradation (replica lag under
+                # chaos, a saturated set, a slow substrate) is the
+                # router's documented failure mode, not a consistency
+                # violation: the read failed loudly rather than
+                # returning stale data. Keep probing — the final
+                # caught-up reads still assert full convergence.
+                continue
+            if report.epoch is None:
+                failures.append(f"report without epoch ({mode}, {query})")
+                return
+            if report.epoch < token:
+                failures.append(
+                    f"token violated: epoch {report.epoch} < token "
+                    f"{token} ({mode}, {query})"
+                )
+                return
+            if report.answers != history[query][report.epoch]:
+                failures.append(
+                    f"answers diverge from sequential oracle at epoch "
+                    f"{report.epoch} ({mode}, {query}): got "
+                    f"{sorted(report.answers)!r}, expected "
+                    f"{sorted(history[query][report.epoch])!r}"
+                )
+                return
+            last_seen = report.epoch
+
+    try:
+        threads = [
+            threading.Thread(target=read_loop, args=(index,), daemon=True)
+            for index in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        for step in script:
+            _apply_script_step(system, step)
+        done.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), "reader thread hung"
+        assert not failures, failures[0]
+        final = system.epoch_token()
+        assert final == len(script)
+        for query in queries:
+            report = system.answer(
+                query, strategy=strategy, min_epoch=final
+            )
+            assert report.epoch >= final
+            assert report.answers == history[query][final], query
+    finally:
+        done.set()
+        system.close()

@@ -289,13 +289,16 @@ class TestAdmissionControl:
 
 
 class _SlowBackend(MemoryBackend):
-    """A MemoryBackend whose reads take a configurable nap."""
+    """A MemoryBackend whose reads take a configurable nap (and count
+    how many reads actually ran — cancelled tasks must not)."""
 
     def __init__(self, delay: float) -> None:
         super().__init__()
         self.delay = delay
+        self.reads = 0
 
     def execute(self, sql):
+        self.reads += 1
         time.sleep(self.delay)
         return super().execute(sql)
 
@@ -403,6 +406,87 @@ class TestTimeouts:
                 isinstance(report.error, QueryTimeoutError)
                 for report in reports
             )
+        finally:
+            system.close()
+
+    def test_gate_timeouts_do_not_compound(
+        self, example1_tbox, example1_abox
+    ):
+        """Regression: per-query deadline accounting in one batch.
+
+        With every admission slot held by one hung query, each
+        subsequent query used to wait out its *own* full timeout at the
+        gate, serially — k stragglers burned k × timeout of wall-clock
+        even though the gate's fate was already proven. Once one admit
+        has timed out with no release since, the rest of the batch must
+        fail fast."""
+        system = OBDASystem(
+            example1_tbox, example1_abox, backend=_SlowBackend(1.5)
+        )
+        try:
+            started = time.perf_counter()
+            reports = system.answer_many(
+                ["q(x) <- Researcher(x)"] * 12,
+                strategy="ucq",
+                max_workers=2,
+                max_in_flight=1,
+                timeout_seconds=0.2,
+                on_error="collect",
+            )
+            elapsed = time.perf_counter() - started
+            assert len(reports) == 12
+            assert all(
+                isinstance(report.error, QueryTimeoutError)
+                for report in reports
+            )
+            # Old behavior: 11 serial gate waits x 0.2s = 2.2s minimum.
+            # Fail-fast: one proven gate timeout, the rest immediate.
+            assert elapsed < 1.2, elapsed
+        finally:
+            system.close()
+
+    def test_timed_out_queued_queries_release_their_slots(
+        self, example1_tbox, example1_abox
+    ):
+        """Regression: a query that timed out while still *queued* (its
+        pool task never started) used to keep its admission slot and
+        its place in the worker queue, burning wall-clock from the next
+        batch. Collection must cancel it and reclaim the slot."""
+        system = OBDASystem(
+            example1_tbox, example1_abox, backend=_SlowBackend(0.5)
+        )
+        try:
+            # Two workers: two queries run 0.5s each, the other two sit
+            # in the pool queue holding admission slots.
+            reports = system.answer_many(
+                ["q(x) <- Researcher(x)"] * 4,
+                strategy="ucq",
+                max_workers=2,
+                max_in_flight=4,
+                timeout_seconds=0.1,
+                on_error="collect",
+            )
+            assert all(
+                isinstance(report.error, QueryTimeoutError)
+                for report in reports
+            )
+            # The cancelled queued tasks released their slots at
+            # collection time, before their (abandoned) runners did.
+            stats = system.last_batch_stats["admission"]
+            assert stats["admitted"] == 4
+            assert stats["released"] >= 2
+            # The two cancelled tasks never reach the backend: after
+            # the two abandoned runners drain, the read count is 2 —
+            # not 4 reads x 0.5s of wall-clock burned from whatever the
+            # pool serves next.
+            deadline = time.perf_counter() + 5.0
+            while (
+                system.backend.reads < 2
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.05)
+            time.sleep(0.7)  # would be mid-flight if they had started
+            assert system.backend.reads == 2
         finally:
             system.close()
 
